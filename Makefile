@@ -1,0 +1,33 @@
+# Developer task runner for the repro library.
+
+PYTHON ?= python3
+
+.PHONY: install test bench experiments verify examples coverage clean
+
+install:
+	$(PYTHON) -m pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all --scale quick --json results.json
+
+verify:
+	$(PYTHON) -m repro.experiments verify
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script > /dev/null || exit 1; \
+	done; echo "all examples ran"
+
+coverage:
+	$(PYTHON) -m pytest tests/ --cov=repro --cov-report=term-missing
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,15 @@
+"""Helpers shared by the benchmark modules."""
+
+import os
+
+__all__ = ["bench_scale", "lengths_for"]
+
+
+def bench_scale() -> str:
+    """``quick`` (default) or ``paper`` via ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return scale if scale in ("quick", "default", "paper") else "quick"
+
+
+def lengths_for(table: dict[str, list[int]]) -> list[int]:
+    return table[bench_scale()]

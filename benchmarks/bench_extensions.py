@@ -1,0 +1,66 @@
+"""Benchmarks for the extensions beyond the paper."""
+
+import numpy as np
+import pytest
+
+from repro.batch import search
+from repro.core.checkpoint import srna2_checkpointed
+from repro.core.srna2 import srna2
+from repro.core.weighted import weighted_mcos
+from repro.core.weights import unit_weights
+from repro.structure.generators import contrived_worst_case, rna_like_structure
+
+
+def test_weighted_vs_plain(benchmark):
+    """The weighted engine's overhead relative to plain SRNA2."""
+    structure = contrived_worst_case(120)
+    weights = unit_weights(structure, structure)
+    plain_score = srna2(structure, structure).score
+
+    result = benchmark(lambda: weighted_mcos(structure, structure, weights))
+    assert result.score == plain_score
+    benchmark.extra_info["note"] = "float64 memo vs int64; same schedule"
+
+
+def test_weighted_random_weights(benchmark):
+    structure = rna_like_structure(300, 70, seed=3)
+    rng = np.random.default_rng(0)
+    weights = rng.uniform(0.0, 2.0, size=(70, 70))
+    result = benchmark(lambda: weighted_mcos(structure, structure, weights))
+    assert result.score > 0
+
+
+def test_checkpoint_overhead(benchmark, tmp_path):
+    """Cost of periodic checkpointing vs plain SRNA2 (every 8 rows)."""
+    structure = contrived_worst_case(120)
+    path = tmp_path / "bench.ckpt.npz"
+
+    def run():
+        if path.exists():
+            path.unlink()
+        return srna2_checkpointed(structure, structure, path, every=8)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.score == 60
+
+
+def test_batch_search_serial(benchmark):
+    query = rna_like_structure(150, 35, seed=1)
+    targets = {
+        f"t{k}": rna_like_structure(150, 35, seed=10 + k) for k in range(6)
+    }
+    hits = benchmark.pedantic(
+        lambda: search(query, targets), rounds=1, iterations=1
+    )
+    assert len(hits) == 6
+
+
+def test_batch_search_two_workers(benchmark):
+    query = rna_like_structure(150, 35, seed=1)
+    targets = {
+        f"t{k}": rna_like_structure(150, 35, seed=10 + k) for k in range(6)
+    }
+    hits = benchmark.pedantic(
+        lambda: search(query, targets, n_workers=2), rounds=1, iterations=1
+    )
+    assert len(hits) == 6

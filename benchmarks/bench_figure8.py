@@ -1,0 +1,68 @@
+"""Figure 8 benchmark: PRNA speedup curves.
+
+Two layers, mirroring the experiment module:
+
+* the closed-form cluster simulation at the paper's problem sizes (fast —
+  it is pure arithmetic), with the resulting speedup curve attached as
+  ``extra_info`` and the paper's 22x / 32x end points asserted;
+* an *executed* PRNA run on the thread backend with analytic virtual-time
+  charging at reduced size, asserting agreement with the simulator.
+"""
+
+import pytest
+
+from repro.mpi.costmodel import CostModel
+from repro.parallel.prna import prna
+from repro.parallel.simulator import PRNASimulator
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+RANKS = [1, 2, 4, 8, 16, 32, 64]
+PROBLEMS = {"800 arcs": 1600, "1600 arcs": 3200}
+PAPER_AT_64 = {"800 arcs": 22.0, "1600 arcs": 32.0}
+
+
+@pytest.mark.parametrize("label", sorted(PROBLEMS))
+def test_simulated_speedup_curve(benchmark, label):
+    structure = contrived_worst_case(PROBLEMS[label])
+    simulator = PRNASimulator()
+
+    def sweep():
+        return {
+            report.n_ranks: report.speedup
+            for report in simulator.sweep(structure, structure, RANKS)
+        }
+
+    curve = benchmark(sweep)
+    assert curve[64] == pytest.approx(PAPER_AT_64[label], rel=0.15)
+    assert list(curve.values()) == sorted(curve.values())
+    benchmark.extra_info["paper_reference"] = "Figure 8"
+    benchmark.extra_info["problem"] = label
+    benchmark.extra_info["speedup_curve"] = {
+        str(p): round(s, 2) for p, s in curve.items()
+    }
+    benchmark.extra_info["paper_speedup_at_64"] = PAPER_AT_64[label]
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4])
+def test_executed_prna_virtual_time(benchmark, n_ranks):
+    structure = contrived_worst_case(200)
+    simulator = PRNASimulator()
+    predicted = simulator.simulate(structure, structure, n_ranks)
+
+    def run():
+        return prna(
+            structure, structure, n_ranks,
+            backend="thread", charge="analytic",
+            work_model=WorkModel.default(),
+            cost_model=CostModel(simulator.cluster),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.score == 100
+    assert result.simulated_time == pytest.approx(
+        predicted.total_seconds, rel=0.05
+    )
+    benchmark.extra_info["paper_reference"] = "Figure 8 (cross-validation)"
+    benchmark.extra_info["n_ranks"] = n_ranks
+    benchmark.extra_info["virtual_seconds"] = round(result.simulated_time, 4)

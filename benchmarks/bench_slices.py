@@ -1,0 +1,67 @@
+"""Slice-engine microbenchmarks: the library's innermost kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.memo import DenseMemoTable
+from repro.core.slices import tabulate_slice_python, tabulate_slice_vectorized
+from repro.structure.generators import contrived_worst_case, rna_like_structure
+
+
+@pytest.fixture(scope="module")
+def worst_case_200():
+    structure = contrived_worst_case(200)
+    memo = DenseMemoTable(200, 200)
+    # Pre-fill M with plausible values so the gather path is realistic.
+    rng = np.random.default_rng(0)
+    memo.values[...] = rng.integers(0, 50, size=memo.values.shape)
+    return structure, memo
+
+
+def test_vectorized_parent_slice(benchmark, worst_case_200):
+    structure, memo = worst_case_200
+    result = benchmark(
+        lambda: tabulate_slice_vectorized(
+            memo.values, structure, structure, 0, 199, 0, 199
+        )
+    )
+    assert result > 0
+
+
+def test_python_parent_slice(benchmark, worst_case_200):
+    structure, memo = worst_case_200
+    result = benchmark.pedantic(
+        lambda: tabulate_slice_python(
+            memo.values, structure, structure, 0, 199, 0, 199
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert result > 0
+
+
+def test_many_small_slices(benchmark):
+    """Per-slice overhead: rRNA-like structures are dominated by thousands
+    of small slices, not one big one."""
+    structure = rna_like_structure(400, 90, seed=17)
+    memo = DenseMemoTable(400, 400)
+
+    def run():
+        total = 0
+        inner = structure.inner_ranges
+        for a in range(structure.n_arcs):
+            arc = structure.arcs[a]
+            r1 = (int(inner[a, 0]), int(inner[a, 1]))
+            for b in range(structure.n_arcs):
+                other = structure.arcs[b]
+                total += tabulate_slice_vectorized(
+                    memo.values, structure, structure,
+                    arc.left + 1, arc.right - 1,
+                    other.left + 1, other.right - 1,
+                    ranges=(r1, (int(inner[b, 0]), int(inner[b, 1]))),
+                )
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total >= 0
+    benchmark.extra_info["slices"] = structure.n_arcs ** 2

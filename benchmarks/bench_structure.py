@@ -1,0 +1,50 @@
+"""Substrate microbenchmarks: parsing, validation, generation, queries."""
+
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket, to_dotbracket
+from repro.structure.generators import (
+    contrived_worst_case,
+    rna_like_structure,
+)
+from repro.structure.stats import work_matrix
+
+
+def test_structure_validation(benchmark):
+    """Construction cost: endpoint + crossing sweeps over 4216 nt."""
+    template = rna_like_structure(4216, 721, seed=1)
+    arcs = [tuple(a) for a in template.arcs]
+    structure = benchmark(lambda: Structure(4216, arcs))
+    assert structure.n_arcs == 721
+
+
+def test_dotbracket_round_trip(benchmark):
+    structure = rna_like_structure(4216, 721, seed=2)
+    text = to_dotbracket(structure)
+
+    def run():
+        return to_dotbracket(from_dotbracket(text))
+
+    assert benchmark(run) == text
+
+
+def test_generator_rna_like(benchmark):
+    structure = benchmark(lambda: rna_like_structure(4216, 721, seed=3))
+    assert structure.n_arcs == 721
+
+
+def test_inside_count_sweep(benchmark):
+    structure = contrived_worst_case(3200)
+
+    def run():
+        fresh = Structure(structure.length, [tuple(a) for a in structure.arcs])
+        return fresh.inside_count
+
+    counts = benchmark(run)
+    assert counts[-1] == 1599
+
+
+def test_work_matrix(benchmark):
+    s1 = rna_like_structure(1000, 250, seed=4)
+    s2 = rna_like_structure(1000, 250, seed=5)
+    matrix = benchmark(lambda: work_matrix(s1, s2))
+    assert matrix.shape == (250, 250)

@@ -1,0 +1,43 @@
+"""Table I benchmark: SRNA1 vs SRNA2 on contrived worst-case data.
+
+Regenerates the paper's Table I rows (execution time by sequence length)
+as pytest-benchmark entries; the SRNA2/SRNA1 ratio and the ~16x growth per
+length doubling are the reproduction's shape targets.
+"""
+
+import pytest
+
+from benchmarks._common import lengths_for
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.structure.generators import contrived_worst_case
+
+LENGTHS = lengths_for(
+    {
+        "quick": [100, 200],
+        "default": [100, 200, 400],
+        "paper": [100, 200, 400, 800, 1600],
+    }
+)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_srna1_worst_case(benchmark, length):
+    structure = contrived_worst_case(length)
+    result = benchmark.pedantic(
+        lambda: srna1(structure, structure), rounds=1, iterations=1
+    )
+    assert result.score == length // 2
+    benchmark.extra_info["paper_reference"] = "Table I, SRNA1"
+    benchmark.extra_info["length"] = length
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_srna2_worst_case(benchmark, length):
+    structure = contrived_worst_case(length)
+    result = benchmark.pedantic(
+        lambda: srna2(structure, structure), rounds=1, iterations=1
+    )
+    assert result.score == length // 2
+    benchmark.extra_info["paper_reference"] = "Table I, SRNA2"
+    benchmark.extra_info["length"] = length

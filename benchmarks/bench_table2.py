@@ -1,0 +1,47 @@
+"""Table II benchmark: SRNA1 vs SRNA2 on the 23S rRNA stand-ins.
+
+At quick scale the structures shrink to 1/4 of the paper's dimensions
+(same topology statistics); ``REPRO_BENCH_SCALE=paper`` uses the full
+4216 nt / 721 arc and 4381 nt / 1126 arc stand-ins.
+"""
+
+import pytest
+
+from benchmarks._common import bench_scale
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.structure.datasets import REGISTRY, get_dataset
+from repro.structure.generators import rna_like_structure
+
+DATASETS = ["fungus", "malaria"]
+
+
+def _structure(name: str):
+    if bench_scale() == "paper":
+        return get_dataset(name)
+    info = REGISTRY[name][0]
+    return rna_like_structure(
+        info.length // 4, info.n_arcs // 4, seed=info.n_arcs
+    )
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_srna1_rrna(benchmark, name):
+    structure = _structure(name)
+    result = benchmark.pedantic(
+        lambda: srna1(structure, structure), rounds=1, iterations=1
+    )
+    assert result.score == structure.n_arcs
+    benchmark.extra_info["paper_reference"] = "Table II, SRNA1"
+    benchmark.extra_info["dataset"] = name
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_srna2_rrna(benchmark, name):
+    structure = _structure(name)
+    result = benchmark.pedantic(
+        lambda: srna2(structure, structure), rounds=1, iterations=1
+    )
+    assert result.score == structure.n_arcs
+    benchmark.extra_info["paper_reference"] = "Table II, SRNA2"
+    benchmark.extra_info["dataset"] = name

@@ -1,0 +1,41 @@
+"""Table III benchmark: SRNA2 per-stage execution shares.
+
+The benchmark times the full SRNA2 run; the measured per-stage shares are
+attached as ``extra_info`` and asserted against the paper's qualitative
+claim (stage one >= 99 %).
+"""
+
+import pytest
+
+from benchmarks._common import lengths_for
+from repro.core.instrument import Instrumentation
+from repro.core.srna2 import srna2
+from repro.structure.generators import contrived_worst_case
+
+LENGTHS = lengths_for(
+    {
+        "quick": [100, 200],
+        "default": [100, 200, 400],
+        "paper": [100, 200, 400, 800],
+    }
+)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_srna2_stage_shares(benchmark, length):
+    structure = contrived_worst_case(length)
+    shares = {}
+
+    def run():
+        inst = Instrumentation()
+        srna2(structure, structure, instrumentation=inst)
+        shares.update(inst.stage_times.percentages())
+        return inst
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert shares["stage_one"] > 99.0  # Table III's qualitative claim
+    benchmark.extra_info["paper_reference"] = "Table III"
+    benchmark.extra_info["length"] = length
+    benchmark.extra_info["stage_shares_percent"] = {
+        stage: round(value, 4) for stage, value in shares.items()
+    }

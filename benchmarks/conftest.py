@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to *quick* sizes so ``pytest benchmarks/
+--benchmark-only`` completes in a few minutes; set
+``REPRO_BENCH_SCALE=paper`` to run the paper's sizes (Table I's n = 1600
+column takes a long time in Python — see EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

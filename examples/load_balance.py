@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Load balancing: the paper's Figure 7 and Section V-A in action.
+
+Shows the per-column work estimates PRNA's preprocessing computes, why
+their relative sizes are row-invariant (an outer product), and how the
+three partitioners compare — Graham's greedy algorithm (the paper's
+choice) against block and cyclic — both in load imbalance and in the
+simulated speedup it buys.
+
+Run:  python examples/load_balance.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.parallel.simulator import PRNASimulator
+from repro.scheduling.partition import PARTITIONERS
+from repro.scheduling.workload import column_weights
+from repro.structure.generators import contrived_worst_case, rna_like_structure
+from repro.structure.stats import work_matrix
+
+
+def figure7_work_matrix() -> None:
+    s1 = rna_like_structure(60, 12, seed=3)
+    s2 = rna_like_structure(60, 12, seed=4)
+    matrix = work_matrix(s1, s2)
+    print("== Figure 7: child-slice work matrix (rows = S1 arcs, "
+          "cols = S2 arcs) ==")
+    for row in matrix:
+        print("   " + " ".join(f"{int(v):3d}" for v in row))
+    print("\n  every row is a scalar multiple of the same column profile,")
+    print("  so one static column partition is optimal for all rows\n")
+
+
+def partitioner_comparison() -> None:
+    structure = contrived_worst_case(3200)  # 1600 nested arcs (Figure 8)
+    weights = column_weights(structure, structure)
+    simulator_rows = []
+    for name in ("greedy", "block", "cyclic"):
+        partition = PARTITIONERS[name](weights, 64)
+        report = PRNASimulator(partitioner=name).simulate(
+            structure, structure, 64
+        )
+        simulator_rows.append(
+            [
+                name,
+                f"{partition.imbalance():.4f}",
+                f"{report.speedup:.2f}x",
+                f"{report.efficiency:.1%}",
+            ]
+        )
+    print(
+        format_table(
+            ["partitioner", "load imbalance", "simulated speedup",
+             "efficiency"],
+            simulator_rows,
+            title="== Section V-A: column partitioners at P=64, "
+            "1600 nested arcs ==",
+        )
+    )
+    print("\n  the paper's greedy (Graham) choice; block suffers because the")
+    print("  worst case's column weights grow monotonically — the last block")
+    print("  gets all the heavy columns")
+
+
+def utilization_traces() -> None:
+    structure = contrived_worst_case(1600)
+    print("\n== per-rank utilization (simulated, P=8) ==")
+    for name in ("greedy", "block"):
+        trace = PRNASimulator(partitioner=name).trace(structure, structure, 8)
+        print(f"\n{name} partition:")
+        print(trace.render(width=32))
+    print("\n  '#' compute, '.' waiting at the row sync, '~' Allreduce —")
+    print("  block starves the low ranks because worst-case column weights")
+    print("  increase monotonically")
+
+
+def main() -> None:
+    figure7_work_matrix()
+    partitioner_comparison()
+    utilization_traces()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Parallel speedup: regenerate the paper's Figure 8 on one machine.
+
+Three layers, from concrete to extrapolated:
+
+1. run PRNA for real on the thread and process backends (small world
+   sizes) and confirm bit-identical results with sequential SRNA2;
+2. run PRNA under *virtual time* — analytic work charging plus a modelled
+   cluster network — and compare with the closed-form simulator;
+3. sweep the simulator to 64 processors at the paper's problem sizes and
+   print the Figure 8 curves (expected end points: ~22x for 800 nested
+   arcs, ~32x for 1600 nested arcs).
+
+Run:  python examples/parallel_speedup.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_ascii_chart, format_speedup_series
+from repro.core.srna2 import srna2
+from repro.mpi.costmodel import CostModel
+from repro.parallel.prna import prna
+from repro.parallel.simulator import PRNASimulator
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+
+def layer_one_real_execution() -> None:
+    print("== layer 1: real execution (correctness) ==")
+    structure = contrived_worst_case(120)
+    reference = srna2(structure, structure)
+    for backend in ("thread", "process"):
+        result = prna(structure, structure, 2, backend=backend, validate=True)
+        identical = np.array_equal(result.memo.values, reference.memo.values)
+        print(f"  {backend:>7} backend, 2 ranks: score {result.score} "
+              f"(sequential {reference.score}), tables identical: {identical}")
+    print()
+
+
+def layer_two_virtual_time() -> None:
+    print("== layer 2: executed virtual time vs closed-form simulation ==")
+    structure = contrived_worst_case(200)
+    simulator = PRNASimulator()
+    for ranks in (1, 2, 4):
+        executed = prna(
+            structure, structure, ranks,
+            backend="thread", charge="analytic",
+            work_model=WorkModel.default(),
+            cost_model=CostModel(simulator.cluster),
+        ).simulated_time
+        predicted = simulator.simulate(structure, structure, ranks)
+        print(f"  P={ranks}: executed {executed:8.4f}s  "
+              f"simulated {predicted.total_seconds:8.4f}s")
+    print()
+
+
+def layer_three_figure8() -> None:
+    print("== layer 3: Figure 8 at the paper's scale (simulated cluster) ==")
+    simulator = PRNASimulator()
+    ranks = [1, 2, 4, 8, 16, 32, 64]
+    curves = {}
+    for label, length in (("800 arcs", 1600), ("1600 arcs", 3200)):
+        structure = contrived_worst_case(length)
+        curves[label] = {
+            report.n_ranks: report.speedup
+            for report in simulator.sweep(structure, structure, ranks)
+        }
+    print(format_speedup_series(curves))
+    print()
+    print(format_ascii_chart(curves, width=48))
+    print()
+    print("paper end points at P=64: 22x (800 arcs), 32x (1600 arcs)")
+
+
+def main() -> None:
+    layer_one_real_execution()
+    layer_two_virtual_time()
+    layer_three_figure8()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Sequential scaling study: Tables I and III at reduced scale.
+
+Times SRNA1 and SRNA2 on contrived worst-case data over a doubling sweep,
+prints the paper-style rows next to the paper's published numbers, and
+breaks SRNA2 down by stage.  Sizes are small enough to finish in about a
+minute; pass ``--full`` to extend to length 800.
+
+Run:  python examples/worstcase_scaling.py [--full]
+"""
+
+import sys
+
+from repro.analysis.tables import format_table
+from repro.core.instrument import Instrumentation
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.experiments.table1 import PAPER_TIMES
+from repro.perf.timing import time_call
+from repro.structure.generators import contrived_worst_case
+
+
+def main() -> None:
+    lengths = [100, 200, 400]
+    if "--full" in sys.argv[1:]:
+        lengths.append(800)
+
+    rows = []
+    stage_rows = []
+    for length in lengths:
+        structure = contrived_worst_case(length)
+        srna2_time = time_call(lambda: srna2(structure, structure)).best
+        srna1_time = time_call(lambda: srna1(structure, structure)).best
+
+        inst = Instrumentation()
+        srna2(structure, structure, instrumentation=inst)
+        shares = inst.stage_times.percentages()
+
+        rows.append(
+            [
+                length,
+                f"{srna1_time:.3f}",
+                f"{srna2_time:.3f}",
+                f"{srna1_time / srna2_time:.2f}x",
+                f"{PAPER_TIMES['SRNA1'].get(length, float('nan')):.3f}",
+                f"{PAPER_TIMES['SRNA2'].get(length, float('nan')):.3f}",
+            ]
+        )
+        stage_rows.append(
+            [
+                length,
+                f"{shares['preprocessing']:.4f}",
+                f"{shares['stage_one']:.4f}",
+                f"{shares['stage_two']:.4f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["length", "SRNA1 (s)", "SRNA2 (s)", "ratio",
+             "paper SRNA1", "paper SRNA2"],
+            rows,
+            title="Table I (here vs paper), contrived worst-case data",
+        )
+    )
+    print("\nshape check: SRNA2 ~2x faster; each doubling costs ~16x\n")
+    print(
+        format_table(
+            ["length", "preprocessing %", "stage one %", "stage two %"],
+            stage_rows,
+            title="Table III (here), SRNA2 stage shares",
+        )
+    )
+    print("\nshape check: stage one >= 99% and growing -> parallelize "
+          "stage one")
+
+
+if __name__ == "__main__":
+    main()

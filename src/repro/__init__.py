@@ -1,0 +1,46 @@
+"""repro — parallel dynamic programming for common RNA secondary structures.
+
+A faithful, production-quality reproduction of
+
+    S. T. Stewart, E. Aubanel and P. A. Evans,
+    "Finding Common RNA Secondary Structures: A Case Study on the Dynamic
+    Parallelization of a Data-driven Recurrence", IPDPS Workshops 2012.
+
+The package implements the Maximum Common Ordered Substructure (MCOS)
+problem for non-pseudoknot RNA secondary structures: the paper's hybrid
+bottom-up/top-down sequential algorithms (SRNA1, SRNA2), their baselines
+(dense bottom-up, memoized top-down), the distributed-memory parallel
+algorithm (PRNA) over an MPI-like message-passing substrate with thread,
+process, and virtual-time backends, and the full experiment harness that
+regenerates the paper's Tables I-III and Figure 8.
+
+Quick start::
+
+    from repro import mcos, from_dotbracket
+
+    s1 = from_dotbracket("((..((..))..))")
+    s2 = from_dotbracket("((((....))))")
+    print(mcos(s1, s2).score)
+"""
+
+from repro._version import __version__
+from repro.core.api import (
+    CommonStructureResult,
+    common_substructure,
+    mcos,
+    mcos_size,
+)
+from repro.structure.arcs import Arc, Structure
+from repro.structure.dotbracket import from_dotbracket, to_dotbracket
+
+__all__ = [
+    "__version__",
+    "Arc",
+    "Structure",
+    "from_dotbracket",
+    "to_dotbracket",
+    "mcos",
+    "mcos_size",
+    "common_substructure",
+    "CommonStructureResult",
+]

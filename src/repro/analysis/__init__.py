@@ -1,0 +1,22 @@
+"""Analysis utilities: dependency graphs, tables, exports, reports."""
+
+from repro.analysis.comparison import render_comparison
+from repro.analysis.depgraph import (
+    dependency_graph,
+    slice_graph,
+    memo_dependency_matrix,
+)
+from repro.analysis.export import experiments_to_csv, graph_to_dot, speedup_csv
+from repro.analysis.tables import format_table, format_speedup_series
+
+__all__ = [
+    "dependency_graph",
+    "slice_graph",
+    "memo_dependency_matrix",
+    "format_table",
+    "format_speedup_series",
+    "render_comparison",
+    "speedup_csv",
+    "graph_to_dot",
+    "experiments_to_csv",
+]

@@ -1,0 +1,84 @@
+"""Human-readable comparison reports.
+
+Composes the library's pieces — statistics, MCOS score, certificate,
+anchored alignment, arc diagrams — into the one-page text report a user
+wants from "compare these two structures".  Available programmatically and
+via ``repro-rna compare --report``.
+"""
+
+from __future__ import annotations
+
+from repro.core.backtrace import backtrace, verify_matching
+from repro.core.srna2 import srna2
+from repro.structure.align import align_from_matching
+from repro.structure.arcs import Structure
+from repro.structure.draw import draw_arcs, draw_matching
+from repro.structure.stats import describe
+
+__all__ = ["render_comparison"]
+
+#: Above this size the report omits the (quartic) co-optima enumeration.
+_ENUMERATION_BUDGET = 40
+
+
+def render_comparison(
+    s1: Structure,
+    s2: Structure,
+    name1: str = "S1",
+    name2: str = "S2",
+    *,
+    diagrams: bool = True,
+    max_diagram_width: int = 120,
+) -> str:
+    """Full text report of the comparison of two structures."""
+    run = srna2(s1, s2)
+    pairs = backtrace(run.memo, s1, s2)
+    verify_matching(s1, s2, pairs)
+
+    stats1 = describe(s1)
+    stats2 = describe(s2)
+    lines: list[str] = []
+    lines.append(f"=== {name1} vs {name2} ===")
+    lines.append("")
+    for name, stats in ((name1, stats1), (name2, stats2)):
+        lines.append(
+            f"{name}: {stats.length} nt, {stats.n_arcs} arcs, "
+            f"{stats.n_helices} helices, depth {stats.max_depth}, "
+            f"{stats.pairing_fraction:.0%} paired"
+        )
+    lines.append("")
+    lines.append(f"MCOS score: {run.score} matched arc pairs")
+    if s1.n_arcs:
+        lines.append(f"{name1} coverage: {run.score / s1.n_arcs:.1%} of arcs")
+    if s2.n_arcs:
+        lines.append(f"{name2} coverage: {run.score / s2.n_arcs:.1%} of arcs")
+
+    if max(s1.n_arcs, s2.n_arcs) <= _ENUMERATION_BUDGET and (
+        s1.length * s2.length
+    ) ** 2 <= 20_000_000:
+        from repro.core.enumerate import count_optima
+
+        n_optima = count_optima(s1, s2, limit=100)
+        suffix = "+" if n_optima == 100 else ""
+        lines.append(f"co-optimal matchings: {n_optima}{suffix}")
+
+    if pairs:
+        lines.append("")
+        lines.append("matched arc pairs (S1 <-> S2):")
+        for pair in sorted(pairs, key=lambda p: p.arc1.left):
+            lines.append(f"  {tuple(pair.arc1)} <-> {tuple(pair.arc2)}")
+        lines.append("")
+        lines.append("matched arcs labelled in place:")
+        lines.append(draw_matching(s1, s2, pairs))
+        lines.append("")
+        lines.append("anchored alignment ('|' = matched endpoints):")
+        lines.append(align_from_matching(s1, s2, pairs).render())
+
+    if diagrams and max(s1.length, s2.length) <= max_diagram_width:
+        lines.append("")
+        lines.append(f"{name1}:")
+        lines.append(draw_arcs(s1))
+        lines.append("")
+        lines.append(f"{name2}:")
+        lines.append(draw_arcs(s2))
+    return "\n".join(lines)

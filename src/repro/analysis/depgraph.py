@@ -1,0 +1,135 @@
+"""Dependency-graph construction (paper Figures 3-6).
+
+These helpers materialize the structures the paper *draws*:
+
+* :func:`dependency_graph` — the subproblem-level dependency graph a
+  top-down traversal unfolds (Figure 3), as a ``networkx.DiGraph`` with
+  edges labelled by recurrence case;
+* :func:`slice_graph` — the coarse slice-level graph whose nodes are
+  ``(i1, i2)`` origin pairs and whose edges are child-slice spawns
+  (Figure 4's dashed arrows);
+* :func:`memo_dependency_matrix` — which entries of the memo table ``M``
+  depend on which (Figure 6), the order constraint behind both SRNA2's
+  stage-one ordering and PRNA's per-row synchronization.
+
+``networkx`` is an optional dependency: it is imported lazily and only
+:func:`dependency_graph`/:func:`slice_graph` require it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.recurrence import Subproblem, dependencies
+from repro.structure.arcs import Structure
+
+__all__ = ["dependency_graph", "slice_graph", "memo_dependency_matrix"]
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env guard
+        raise ImportError(
+            "dependency-graph analysis requires the optional 'networkx' "
+            "dependency (pip install repro[analysis])"
+        ) from exc
+    return networkx
+
+
+def dependency_graph(s1: Structure, s2: Structure, max_nodes: int = 100_000):
+    """The reachable subproblem dependency graph (paper Figure 3).
+
+    Nodes are ``(i1, j1, i2, j2)`` tuples; each edge carries
+    ``case in {'s1', 's2', 'd1', 'd2'}``.  Empty-interval subproblems are
+    collapsed into absence (their value is identically 0).
+    """
+    nx = _require_networkx()
+    graph = nx.DiGraph()
+    root = Subproblem(0, s1.length - 1, 0, s2.length - 1)
+    if root.empty:
+        return graph
+    stack = [root]
+    seen = {root}
+    while stack:
+        sub = stack.pop()
+        node = (sub.i1, sub.j1, sub.i2, sub.j2)
+        graph.add_node(node, slice_origin=sub.slice_origin())
+        for case, dep in dependencies(s1, s2, sub).items():
+            if dep.empty:
+                continue
+            graph.add_edge(node, (dep.i1, dep.j1, dep.i2, dep.j2), case=case)
+            if dep not in seen:
+                seen.add(dep)
+                stack.append(dep)
+                if len(seen) > max_nodes:
+                    raise MemoryError(
+                        f"dependency graph exceeded {max_nodes} nodes; "
+                        "use slice_graph for large instances"
+                    )
+    return graph
+
+
+def slice_graph(s1: Structure, s2: Structure):
+    """The slice-spawning graph (paper Figure 4, dashed edges).
+
+    Nodes are slice origins ``(i1, i2)``; an edge ``(a, b) -> (c, d)`` means
+    tabulating ``slice_(a,b)`` encounters a matched arc pair whose child is
+    ``slice_(c,d)``.  Every matched arc pair of the two structures induces
+    one potential child, so this is exactly the stage-one workload of SRNA2
+    (all arc pairs) with the reachability structure SRNA1 exploits.
+    """
+    nx = _require_networkx()
+    graph = nx.DiGraph()
+    graph.add_node((0, 0), kind="parent")
+
+    def children_of(i1: int, j1: int, i2: int, j2: int):
+        for a in s1.arc_indices_in(i1, j1):
+            arc1 = s1.arcs[int(a)]
+            for b in s2.arc_indices_in(i2, j2):
+                arc2 = s2.arcs[int(b)]
+                yield arc1, arc2
+
+    # Parent slice spawns.
+    todo = [((0, 0), (0, s1.length - 1, 0, s2.length - 1))]
+    visited = {(0, 0)}
+    while todo:
+        origin, (i1, j1, i2, j2) = todo.pop()
+        for arc1, arc2 in children_of(i1, j1, i2, j2):
+            child = (arc1.left + 1, arc2.left + 1)
+            graph.add_node(child, kind="child")
+            graph.add_edge(origin, child, arcs=(tuple(arc1), tuple(arc2)))
+            if child not in visited:
+                visited.add(child)
+                todo.append(
+                    (
+                        child,
+                        (
+                            arc1.left + 1,
+                            arc1.right - 1,
+                            arc2.left + 1,
+                            arc2.right - 1,
+                        ),
+                    )
+                )
+    return graph
+
+
+def memo_dependency_matrix(s1: Structure, s2: Structure) -> np.ndarray:
+    """Row-level dependencies of the memo table ``M`` (paper Figure 6).
+
+    ``D[a, a']`` is nonzero when tabulating the slice of some arc pair whose
+    S1 arc is ``a`` requires memo entries written under S1 arc ``a'``
+    (arcs indexed in right-endpoint order).  SRNA2's ordering soundness is
+    the statement that this matrix is strictly lower-triangular — every
+    dependency points at an arc with a smaller right endpoint — and the
+    matrix is what the corresponding unit test checks.
+    """
+    n_arcs = s1.n_arcs
+    matrix = np.zeros((n_arcs, n_arcs), dtype=np.int64)
+    inner = s1.inner_ranges
+    for a in range(n_arcs):
+        lo, hi = int(inner[a, 0]), int(inner[a, 1])
+        for inner_arc in range(lo, hi):
+            matrix[a, inner_arc] += 1
+    return matrix

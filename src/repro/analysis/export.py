@@ -1,0 +1,84 @@
+"""Exporters: figures and graphs as portable artifacts.
+
+The experiment harness prints paper-style text tables; this module writes
+the same data in formats downstream tools consume:
+
+* :func:`speedup_csv` — Figure 8 curves as CSV (one row per ``(problem,
+  P)`` point) for plotting elsewhere;
+* :func:`graph_to_dot` — dependency/slice graphs (paper Figures 3-4) in
+  Graphviz DOT, written without requiring pydot;
+* :func:`experiments_to_csv` — any :class:`ExperimentRecord`'s rows.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Mapping
+
+from repro.experiments.report import ExperimentRecord
+
+__all__ = ["speedup_csv", "graph_to_dot", "experiments_to_csv"]
+
+
+def speedup_csv(series: Mapping[str, Mapping[int, float]]) -> str:
+    """Render named speedup curves as CSV text.
+
+    Columns: ``problem, processors, speedup`` — tidy (long) format, one
+    observation per row.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["problem", "processors", "speedup"])
+    for name in series:
+        for procs in sorted(series[name]):
+            writer.writerow([name, procs, f"{series[name][procs]:.6g}"])
+    return buffer.getvalue()
+
+
+def experiments_to_csv(record: ExperimentRecord) -> str:
+    """One experiment's measured rows as CSV (union of row keys)."""
+    columns: list[str] = []
+    for row in record.rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in record.rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _dot_id(node: Any) -> str:
+    return '"' + str(node).replace('"', "'") + '"'
+
+
+def graph_to_dot(graph, name: str = "G") -> str:
+    """A networkx DiGraph as Graphviz DOT text (no pydot needed).
+
+    Node attributes become labels; edge ``case``/``arcs`` attributes
+    become edge labels — enough to render the paper's Figure 3/4 graphs
+    with ``dot -Tsvg``.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node, data in graph.nodes(data=True):
+        attrs = []
+        if data:
+            label = ", ".join(f"{k}={v}" for k, v in sorted(data.items()))
+            attrs.append(f'label="{node}\\n{label}"')
+        joined = (" [" + ", ".join(attrs) + "]") if attrs else ""
+        lines.append(f"  {_dot_id(node)}{joined};")
+    for source, dest, data in graph.edges(data=True):
+        attrs = []
+        if "case" in data:
+            attrs.append(f'label="{data["case"]}"')
+            if data["case"] == "d2":
+                attrs.append("style=dashed")  # the paper's dashed edges
+        elif "arcs" in data:
+            attrs.append("style=dashed")
+        joined = (" [" + ", ".join(attrs) + "]") if attrs else ""
+        lines.append(f"  {_dot_id(source)} -> {_dot_id(dest)}{joined};")
+    lines.append("}")
+    return "\n".join(lines)

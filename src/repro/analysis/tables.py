@@ -1,0 +1,80 @@
+"""Paper-style plain-text table and series formatting.
+
+The experiment harness prints its results in the same layout as the paper's
+tables so a reader can diff them side by side; these helpers keep that
+formatting in one place (and are unit-tested so harness output stays
+stable).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_speedup_series", "format_ascii_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table with a header rule.
+
+    Floats are shown with 3 decimal places (the paper's precision);
+    everything else via ``str``.
+    """
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    grid = [[cell(h) for h in headers]] + [[cell(v) for v in row] for row in rows]
+    widths = [max(len(row[col]) for row in grid) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.rjust(w) for h, w in zip(grid[0], widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in grid[1:]:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_series(
+    series: dict[str, dict[int, float]], title: str | None = None
+) -> str:
+    """Render named speedup curves over a shared processor axis."""
+    all_ps = sorted({p for curve in series.values() for p in curve})
+    headers = ["procs"] + list(series)
+    rows = []
+    for p in all_ps:
+        row: list[object] = [p]
+        for name in series:
+            value = series[name].get(p)
+            row.append(f"{value:.2f}" if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_ascii_chart(
+    series: dict[str, dict[int, float]],
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """A quick terminal chart of speedup curves (one row per data point)."""
+    lines = []
+    if title:
+        lines.append(title)
+    peak = max(
+        (v for curve in series.values() for v in curve.values()), default=1.0
+    )
+    markers = "*o+x#@"
+    for index, (name, curve) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        lines.append(f"  [{marker}] {name}")
+        for p in sorted(curve):
+            bar = marker * max(1, int(round(curve[p] / peak * width)))
+            lines.append(f"  P={p:>3} |{bar} {curve[p]:.2f}x")
+    return "\n".join(lines)

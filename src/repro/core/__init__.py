@@ -1,0 +1,32 @@
+"""Core dynamic-programming algorithms for the MCOS problem.
+
+This subpackage implements the paper's contribution and its baselines:
+
+* :mod:`repro.core.recurrence` — the recurrence of paper Figure 2 and its
+  case decomposition (``s1``/``s2`` static, ``d1``/``d2`` dynamic);
+* :mod:`repro.core.dense` — the naive bottom-up 4-D tabulation
+  (overtabulating baseline);
+* :mod:`repro.core.topdown` — the memoized top-down algorithm (exact
+  tabulation baseline, paper Figure 3);
+* :mod:`repro.core.oracle` — an independent ordered-forest matching DP used
+  as a testing oracle;
+* :mod:`repro.core.slices` — the child-slice tabulation engine
+  (``TabulateSlice``, paper Algorithm 2) in pure-Python and vectorized forms;
+* :mod:`repro.core.srna1` / :mod:`repro.core.srna2` — the paper's hybrid
+  sequential algorithms (Algorithms 1 and 3);
+* :mod:`repro.core.backtrace` — recovery of an optimal common substructure;
+* :mod:`repro.core.api` — the high-level public entry points.
+"""
+
+from repro.core.api import CommonStructureResult, mcos, mcos_size, common_substructure
+from repro.core.checkpoint import srna2_checkpointed
+from repro.core.weighted import weighted_mcos
+
+__all__ = [
+    "CommonStructureResult",
+    "mcos",
+    "mcos_size",
+    "common_substructure",
+    "weighted_mcos",
+    "srna2_checkpointed",
+]

@@ -1,0 +1,112 @@
+"""High-level public API for RNA secondary structure comparison.
+
+Most users need exactly one call::
+
+    from repro import mcos
+    result = mcos(s1, s2)
+    result.score            # number of matched arcs
+    result.matched_pairs    # the common substructure (if requested)
+
+``algorithm`` selects between the paper's algorithms and the baselines —
+``"srna2"`` (default, fastest), ``"srna1"``, ``"topdown"``, ``"dense"`` —
+all of which produce identical scores (a fact the test suite leans on
+heavily).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.backtrace import MatchedPair, backtrace
+from repro.core.dense import dense_mcos
+from repro.core.instrument import Instrumentation
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.core.topdown import topdown_mcos
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+
+__all__ = ["CommonStructureResult", "mcos", "mcos_size", "common_substructure"]
+
+ALGORITHMS = ("srna2", "srna1", "topdown", "dense")
+
+
+@dataclass
+class CommonStructureResult:
+    """Result of a structure comparison."""
+
+    score: int
+    algorithm: str
+    matched_pairs: list[MatchedPair] | None = None
+    instrumentation: Instrumentation | None = field(default=None, repr=False)
+
+    def __int__(self) -> int:
+        return self.score
+
+
+def _coerce(structure: Structure | str) -> Structure:
+    """Accept a Structure or a dot-bracket string."""
+    if isinstance(structure, Structure):
+        return structure
+    return from_dotbracket(structure)
+
+
+def mcos(
+    s1: Structure | str,
+    s2: Structure | str,
+    *,
+    algorithm: str = "srna2",
+    engine: str = "vectorized",
+    with_backtrace: bool = False,
+    instrument: bool = False,
+) -> CommonStructureResult:
+    """Maximum Common Ordered Substructure of two structures.
+
+    Parameters
+    ----------
+    s1, s2:
+        :class:`Structure` objects or dot-bracket strings.
+    algorithm:
+        ``"srna2"`` (default), ``"srna1"``, ``"topdown"`` or ``"dense"``.
+    engine:
+        Slice engine for SRNA2 (``"vectorized"`` or ``"python"``).
+    with_backtrace:
+        Also recover the matched arc pairs (requires ``srna1``/``srna2``).
+    instrument:
+        Attach operation counters and stage timers to the result.
+    """
+    s1 = _coerce(s1)
+    s2 = _coerce(s2)
+    inst = Instrumentation() if instrument else None
+    if algorithm == "srna2":
+        run = srna2(s1, s2, engine=engine, instrumentation=inst)
+        pairs = backtrace(run.memo, s1, s2) if with_backtrace else None
+        return CommonStructureResult(run.score, algorithm, pairs, inst)
+    if algorithm == "srna1":
+        run1 = srna1(s1, s2, instrumentation=inst)
+        pairs = backtrace(run1.memo, s1, s2) if with_backtrace else None
+        return CommonStructureResult(run1.score, algorithm, pairs, inst)
+    if with_backtrace:
+        raise ValueError(
+            f"with_backtrace requires algorithm 'srna1' or 'srna2', "
+            f"not {algorithm!r}"
+        )
+    if algorithm == "topdown":
+        score = topdown_mcos(s1, s2, instrumentation=inst)
+        return CommonStructureResult(score, algorithm, None, inst)
+    if algorithm == "dense":
+        score = dense_mcos(s1, s2, instrumentation=inst)
+        return CommonStructureResult(score, algorithm, None, inst)
+    raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+
+
+def mcos_size(s1: Structure | str, s2: Structure | str) -> int:
+    """Just the MCOS score, using the fastest algorithm (SRNA2)."""
+    return mcos(s1, s2).score
+
+
+def common_substructure(
+    s1: Structure | str, s2: Structure | str
+) -> list[MatchedPair]:
+    """The matched arc pairs of an optimal common substructure."""
+    return mcos(s1, s2, with_backtrace=True).matched_pairs or []

@@ -1,0 +1,120 @@
+"""Enumerating all co-optimal common substructures.
+
+One optimum is rarely unique: the recurrence's maxima tie whenever
+alternative matchings reach the same count.  For analysis ("is the optimal
+alignment of these families stable?") it is useful to enumerate *all*
+distinct optimal matchings, not just the one a backtrace picks.
+
+The enumeration walks the dense 4-D table (so it is limited to small
+instances, like every use of :mod:`repro.core.dense`), branching into every
+recurrence case that attains the cell's value and combining sub-results as
+sets of matched arc pairs.  Distinct derivations of the same matching
+collapse via set semantics; *limit* bounds the work per subproblem so
+pathological tie structures cannot blow up.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+import numpy as np
+
+from repro.core.dense import dense_table
+from repro.structure.arcs import Arc, Structure
+
+__all__ = ["enumerate_optima", "count_optima"]
+
+Matching = FrozenSet[tuple[Arc, Arc]]
+
+
+def enumerate_optima(
+    s1: Structure,
+    s2: Structure,
+    limit: int = 1000,
+    cell_limit: int = 20_000_000,
+) -> list[Matching]:
+    """All distinct optimal matchings (up to *limit*), small inputs only.
+
+    Each matching is a frozenset of ``(arc1, arc2)`` pairs of size equal to
+    the MCOS score.  Returns them sorted (for deterministic output) by
+    their sorted pair lists.
+    """
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    n, m = s1.length, s2.length
+    empty: Matching = frozenset()
+    if n == 0 or m == 0 or s1.n_arcs == 0 or s2.n_arcs == 0:
+        return [empty]
+    table = dense_table(s1, s2, cell_limit=cell_limit)
+    partner1, partner2 = s1.partner, s2.partner
+    memo: dict[tuple[int, int, int, int], frozenset[Matching]] = {}
+    truncated = False
+
+    def value(i1: int, j1: int, i2: int, j2: int) -> int:
+        if j1 < i1 or j2 < i2:
+            return 0
+        return int(table[i1, j1, i2, j2])
+
+    def solve(i1: int, j1: int, i2: int, j2: int) -> frozenset[Matching]:
+        nonlocal truncated
+        if j1 < i1 or j2 < i2:
+            return frozenset([empty])
+        target = value(i1, j1, i2, j2)
+        if target == 0:
+            return frozenset([empty])
+        key = (i1, j1, i2, j2)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        found: set[Matching] = set()
+        # Static cases: the same optimum without position j1 (or j2).
+        if value(i1, j1 - 1, i2, j2) == target:
+            found |= solve(i1, j1 - 1, i2, j2)
+        if len(found) < limit and value(i1, j1, i2, j2 - 1) == target:
+            found |= solve(i1, j1, i2, j2 - 1)
+        # Dynamic case: matched arcs closing at (j1, j2).
+        k1 = int(partner1[j1])
+        k2 = int(partner2[j2])
+        if (
+            len(found) < limit
+            and k1 != -1
+            and k2 != -1
+            and i1 <= k1 < j1
+            and i2 <= k2 < j2
+        ):
+            d1 = value(i1, k1 - 1, i2, k2 - 1)
+            d2 = value(k1 + 1, j1 - 1, k2 + 1, j2 - 1)
+            if 1 + d1 + d2 == target:
+                pair = (Arc(k1, j1), Arc(k2, j2))
+                before = solve(i1, k1 - 1, i2, k2 - 1)
+                under = solve(k1 + 1, j1 - 1, k2 + 1, j2 - 1)
+                for left in before:
+                    for right in under:
+                        found.add(left | right | {pair})
+                        if len(found) >= limit:
+                            break
+                    if len(found) >= limit:
+                        break
+        if len(found) > limit:
+            truncated = True
+            found = set(sorted(found, key=_matching_key)[:limit])
+        result = frozenset(found)
+        memo[key] = result
+        return result
+
+    optima = solve(0, n - 1, 0, m - 1)
+    ordered = sorted(optima, key=_matching_key)
+    if len(ordered) > limit:
+        ordered = ordered[:limit]
+    return ordered
+
+
+def _matching_key(matching: Matching):
+    return sorted(
+        (tuple(arc1), tuple(arc2)) for arc1, arc2 in matching
+    )
+
+
+def count_optima(s1: Structure, s2: Structure, limit: int = 1000) -> int:
+    """Number of distinct optimal matchings (saturates at *limit*)."""
+    return len(enumerate_optima(s1, s2, limit=limit))

@@ -1,0 +1,69 @@
+"""Independent testing oracle: MCOS as ordered-forest matching.
+
+Because unpaired positions never constrain the mapping (only arcs are
+counted, and the common substructure's positions can be chosen to be exactly
+the matched arcs' endpoints), the MCOS problem over the non-pseudoknot model
+is equivalent to the **maximum common embedded ordered subforest** of the
+two arc forests, where deleting an arc promotes its children:
+
+    M(F1, F2) = max( M(children(t1) ++ rest1, F2),      # delete t1's root
+                     M(F1, children(t2) ++ rest2),      # delete t2's root
+                     1 + M(children(t1), children(t2))  # match the roots:
+                       + M(rest1, rest2) )              # nested + following
+
+with ``t1``/``t2`` the first trees of the forests.  This recursion is a
+different decomposition from the paper's interval recurrence (it peels trees
+from the left instead of positions from the right), so agreement between the
+two is a strong correctness check — and it is exercised across randomized
+structures by the test suite.
+
+Forests are represented as nested tuples of child shapes (positions are
+irrelevant to the optimum), memoized on the pair of shapes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.structure.arcs import Structure
+from repro.structure.forest import Forest
+
+__all__ = ["oracle_mcos", "forest_shape"]
+
+# A forest shape is a tuple of tree shapes; a tree shape is the tuple of its
+# children's shapes.  (The empty forest is the empty tuple.)
+Shape = tuple
+
+
+def forest_shape(structure: Structure) -> Shape:
+    """Canonical nested-tuple shape of a structure's arc forest."""
+    return Forest(structure).shape()
+
+
+@lru_cache(maxsize=1_000_000)
+def _match(f1: Shape, f2: Shape) -> int:
+    if not f1 or not f2:
+        return 0
+    t1, rest1 = f1[0], f1[1:]
+    t2, rest2 = f2[0], f2[1:]
+    # Delete the root of the first tree of either forest (children promote).
+    best = _match(t1 + rest1, f2)
+    best = max(best, _match(f1, t2 + rest2))
+    # Match the two roots: their subtrees must embed inside each other and
+    # the remaining sibling forests after them.
+    best = max(best, 1 + _match(t1, t2) + _match(rest1, rest2))
+    return best
+
+
+def oracle_mcos(s1: Structure, s2: Structure) -> int:
+    """MCOS size by ordered-forest matching (exponential-state memo).
+
+    Intended for *small* structures (roughly up to 15 arcs each); the memo
+    key space grows quickly with forest size.
+    """
+    return _match(forest_shape(s1), forest_shape(s2))
+
+
+def oracle_cache_clear() -> None:
+    """Release the oracle's memo (tests use this between large cases)."""
+    _match.cache_clear()

@@ -1,0 +1,103 @@
+"""The dynamic programming recurrence of paper Figure 2.
+
+For intervals ``[i1, j1]`` of structure ``S1`` and ``[i2, j2]`` of ``S2``,
+``F(i1, j1, i2, j2)`` is the maximum number of arcs in a common ordered
+substructure confined to those intervals:
+
+* **static dependencies** (always inspected)::
+
+      s1 = F(i1, j1 - 1, i2, j2)
+      s2 = F(i1, j1, i2, j2 - 1)
+
+* **dynamic dependencies** (inspected only when arcs ``(k1, j1) in S1`` and
+  ``(k2, j2) in S2`` close at the interval ends, with ``i1 <= k1 < j1`` and
+  ``i2 <= k2 < j2`` — the *data-driven* cases)::
+
+      d1 = F(i1, k1 - 1, i2, k2 - 1)      # structure before the arcs
+      d2 = F(k1 + 1, j1 - 1, k2 + 1, j2 - 1)  # structure under the arcs
+      F  = max(s1, s2, 1 + d1 + d2)
+
+Empty intervals (``j < i``) have value 0.  Because the non-pseudoknot model
+forbids shared endpoints, ``k1`` is uniquely determined by ``j1`` (it is
+``j1``'s bonded partner), and likewise ``k2`` by ``j2`` — this module exposes
+:func:`matched_arc` for that test.
+
+This module holds only the *semantics*; the different evaluation strategies
+live in :mod:`repro.core.dense` (bottom-up, overtabulating),
+:mod:`repro.core.topdown` (memoized recursion, exact tabulation) and
+:mod:`repro.core.slices`/:mod:`repro.core.srna2` (the paper's hybrid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.structure.arcs import Structure
+
+__all__ = ["Subproblem", "matched_arc", "dependencies", "upper_bound"]
+
+
+@dataclass(frozen=True, order=True)
+class Subproblem:
+    """One node of the dependency graph: the tuple ``(i1, j1, i2, j2)``."""
+
+    i1: int
+    j1: int
+    i2: int
+    j2: int
+
+    @property
+    def empty(self) -> bool:
+        """True when either interval is empty, i.e. ``F == 0``."""
+        return self.j1 < self.i1 or self.j2 < self.i2
+
+    def slice_origin(self) -> tuple[int, int]:
+        """The ``(i1, i2)`` pair identifying this subproblem's slice."""
+        return (self.i1, self.i2)
+
+
+def matched_arc(
+    s1: Structure, s2: Structure, sub: Subproblem
+) -> tuple[int, int] | None:
+    """Return ``(k1, k2)`` if arcs close at both interval ends, else ``None``.
+
+    This is the recurrence's dynamic-dependency guard: there must be arcs
+    ``(k1, j1) in S1`` and ``(k2, j2) in S2`` whose left endpoints fall inside
+    the intervals.
+    """
+    if sub.empty:
+        return None
+    k1 = s1.partner_of(sub.j1) if sub.j1 < s1.length else -1
+    k2 = s2.partner_of(sub.j2) if sub.j2 < s2.length else -1
+    if k1 == -1 or k2 == -1:
+        return None
+    if not (sub.i1 <= k1 < sub.j1 and sub.i2 <= k2 < sub.j2):
+        return None
+    return k1, k2
+
+
+def dependencies(
+    s1: Structure, s2: Structure, sub: Subproblem
+) -> dict[str, Subproblem]:
+    """The direct dependencies of *sub*, labelled as in the paper.
+
+    Always contains ``s1`` and ``s2`` (static); contains ``d1`` and ``d2``
+    exactly when :func:`matched_arc` fires.  Used by the dependency-graph
+    analysis (paper Figure 3) and by tests that validate the tabulation
+    orders of SRNA1/SRNA2 against the true dependency structure.
+    """
+    deps = {
+        "s1": Subproblem(sub.i1, sub.j1 - 1, sub.i2, sub.j2),
+        "s2": Subproblem(sub.i1, sub.j1, sub.i2, sub.j2 - 1),
+    }
+    match = matched_arc(s1, s2, sub)
+    if match is not None:
+        k1, k2 = match
+        deps["d1"] = Subproblem(sub.i1, k1 - 1, sub.i2, k2 - 1)
+        deps["d2"] = Subproblem(k1 + 1, sub.j1 - 1, k2 + 1, sub.j2 - 1)
+    return deps
+
+
+def upper_bound(s1: Structure, s2: Structure) -> int:
+    """A trivial upper bound on the MCOS size: ``min(|S1|, |S2|)``."""
+    return min(s1.n_arcs, s2.n_arcs)

@@ -1,0 +1,251 @@
+"""Child-slice tabulation — the paper's ``TabulateSlice`` (Algorithm 2).
+
+A *slice* is the two-dimensional piece of the conceptual 4-D table obtained
+by fixing the interval start pair ``(i1, i2)``.  ``TabulateSlice`` fills it
+bottom-up over the arcs contained in the intervals::
+
+    for each arc (k1, x) in S1 with i1 <= k1 < x <= j1 (increasing x):
+        for each arc (k2, y) in S2 with i2 <= k2 < y <= j2 (increasing y):
+            slice[x][y] = MAX( slice[x-1][y], slice[x][y-1],
+                               1 + slice[k1-1][k2-1] + M[k1+1][k2+1] )
+
+and the value of the *last* tabulated subproblem is the slice's result.
+
+Two key structural facts make the compressed, vectorized implementation
+possible (both follow from the recurrence and are exercised by tests):
+
+1. Slice values only change at rows/columns that are arc **right endpoints**
+   inside the interval; between endpoints the value is a running maximum.
+   A slice therefore compresses to one stored row per S1 endpoint and one
+   stored column per S2 endpoint; reads at arbitrary positions resolve to
+   the nearest endpoint at or below (binary search).
+2. Within one row, every candidate's ``d1`` reference points at a strictly
+   earlier row (``k1 < x``) and its ``d2`` reference points at the memo
+   table, so an entire row vectorizes: elementwise max with the previous
+   row, then a prefix maximum (``np.maximum.accumulate``) realizes the
+   ``slice[x][y-1]`` case.
+
+Compressed layout: the value matrix has one extra leading row *and* column
+of zeros (the empty-interval boundary), so boundary reads need no masking —
+a ``d1`` reference that falls before the interval simply lands on index 0.
+
+Two engines share the contract:
+
+* :func:`tabulate_slice_python` — direct transcription, the readable
+  reference used for cross-checking;
+* :func:`tabulate_slice_vectorized` — the production engine: one 2-D memo
+  gather per slice plus four NumPy kernels per row.
+
+Both accept precomputed arc-index *ranges* so SRNA2's stage one avoids
+re-searching intervals (see :attr:`Structure.inner_ranges`), and both can
+return the full compressed slice (``keep_table=True``) for the backtracer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.errors import StructureError
+from repro.structure.arcs import Structure
+
+__all__ = [
+    "SliceTable",
+    "arc_range_in",
+    "tabulate_slice_python",
+    "tabulate_slice_vectorized",
+    "ENGINES",
+]
+
+
+@dataclass
+class SliceTable:
+    """A fully tabulated slice in compressed (endpoint-indexed) form.
+
+    ``rows[r, c]`` is the slice value at S1 position ``xs[r-1]`` and S2
+    position ``ys[c-1]``; row 0 and column 0 are the zero boundary.
+    ``k1s``/``k2s`` are the matching left endpoints of each row/column arc.
+    """
+
+    i1: int
+    j1: int
+    i2: int
+    j2: int
+    xs: np.ndarray  # S1 arc right endpoints in the interval (sorted)
+    k1s: np.ndarray  # matching left endpoints
+    ys: np.ndarray  # S2 arc right endpoints in the interval (sorted)
+    k2s: np.ndarray  # matching left endpoints
+    rows: np.ndarray  # (len(xs) + 1, len(ys) + 1) values; row/col 0 boundary
+
+    @property
+    def result(self) -> int:
+        """Value of the last tabulated subproblem (the slice's memo value)."""
+        if len(self.xs) == 0 or len(self.ys) == 0:
+            return 0
+        return int(self.rows[-1, -1])
+
+    def value_at(self, p1: int, p2: int) -> int:
+        """Slice value at arbitrary positions ``(p1, p2)`` of the intervals.
+
+        Resolves to the nearest tabulated endpoint at or below each
+        coordinate; positions before the first endpoints read the zero
+        boundary.
+        """
+        r = int(np.searchsorted(self.xs, p1, side="right"))
+        c = int(np.searchsorted(self.ys, p2, side="right"))
+        return int(self.rows[r, c])
+
+
+def arc_range_in(structure: Structure, i: int, j: int) -> tuple[int, int]:
+    """Index range ``[lo, hi)`` of arcs fully inside ``[i, j]``.
+
+    **Precondition**: no arc straddles the interval boundary.  This holds
+    for every interval the paper's algorithms tabulate — the interval under
+    an arc (a straddler would cross the spawning arc, which the
+    non-pseudoknot model forbids) and the full sequence.  For arbitrary
+    intervals the inside arcs need not even be contiguous in right-endpoint
+    order; use :meth:`Structure.arc_indices_in` there instead.  A violated
+    precondition raises :class:`StructureError` rather than silently
+    including straddlers.
+    """
+    if j < i:
+        return (0, 0)
+    rights = structure.rights
+    lo = int(np.searchsorted(rights, i, side="left"))
+    hi = int(np.searchsorted(rights, j, side="right"))
+    if lo < hi and not (structure.lefts[lo:hi] >= i).all():
+        raise StructureError(
+            f"interval [{i}, {j}] is straddled by an arc; arc_range_in "
+            "requires non-straddled intervals (use arc_indices_in instead)"
+        )
+    return (lo, hi)
+
+
+def _slice_arrays(
+    s1: Structure,
+    s2: Structure,
+    r1: tuple[int, int],
+    r2: tuple[int, int],
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    lo1, hi1 = r1
+    lo2, hi2 = r2
+    return (
+        s1.rights[lo1:hi1],
+        s1.lefts[lo1:hi1],
+        s2.rights[lo2:hi2],
+        s2.lefts[lo2:hi2],
+    )
+
+
+# ----------------------------------------------------------------------
+# Reference engine: direct transcription of Algorithm 2
+# ----------------------------------------------------------------------
+def tabulate_slice_python(
+    memo_values: np.ndarray,
+    s1: Structure,
+    s2: Structure,
+    i1: int,
+    j1: int,
+    i2: int,
+    j2: int,
+    *,
+    ranges: tuple[tuple[int, int], tuple[int, int]] | None = None,
+    instrumentation: Instrumentation | None = None,
+    keep_table: bool = False,
+) -> int | SliceTable:
+    """Pure-Python ``TabulateSlice`` over intervals ``[i1,j1] x [i2,j2]``.
+
+    ``memo_values`` is the dense memo array ``M``; reads ``M[k1+1, k2+1]``
+    must already hold final values (SRNA2's ordering guarantee).  Returns
+    the slice result, or the full :class:`SliceTable` when ``keep_table``.
+    """
+    if ranges is None:
+        ranges = (arc_range_in(s1, i1, j1), arc_range_in(s2, i2, j2))
+    xs, k1s, ys, k2s = _slice_arrays(s1, s2, *ranges)
+    n_rows, n_cols = len(xs), len(ys)
+    rows = np.zeros((n_rows + 1, n_cols + 1), dtype=memo_values.dtype)
+    for r in range(1, n_rows + 1):
+        k1 = int(k1s[r - 1])
+        # Stored row (0 = boundary) holding the value at S1 position k1 - 1.
+        d1_row = int(np.searchsorted(xs, k1 - 1, side="right"))
+        prev = rows[r - 1]
+        cur = rows[r]
+        running = 0
+        for c in range(1, n_cols + 1):
+            k2 = int(k2s[c - 1])
+            d1_col = int(np.searchsorted(ys, k2 - 1, side="right"))
+            d1 = int(rows[d1_row, d1_col])
+            d2 = int(memo_values[k1 + 1, k2 + 1])
+            best = max(int(prev[c]), running, 1 + d1 + d2)
+            cur[c] = best
+            running = best
+    if instrumentation is not None:
+        instrumentation.count_slice(n_rows * n_cols)
+    table = SliceTable(i1, j1, i2, j2, xs, k1s, ys, k2s, rows)
+    return table if keep_table else table.result
+
+
+# ----------------------------------------------------------------------
+# Production engine: vectorized row kernels
+# ----------------------------------------------------------------------
+def tabulate_slice_vectorized(
+    memo_values: np.ndarray,
+    s1: Structure,
+    s2: Structure,
+    i1: int,
+    j1: int,
+    i2: int,
+    j2: int,
+    *,
+    ranges: tuple[tuple[int, int], tuple[int, int]] | None = None,
+    instrumentation: Instrumentation | None = None,
+    keep_table: bool = False,
+) -> int | SliceTable:
+    """Vectorized ``TabulateSlice``; same contract as the reference engine.
+
+    The ``1 + M[k1+1][k2+1]`` terms for the whole slice are gathered in a
+    single 2-D fancy-indexing pass; after that, each row costs four NumPy
+    kernels: gather ``d1`` from an earlier row, add the memo terms, max
+    against the previous row, prefix-maximize.
+    """
+    if ranges is None:
+        ranges = (arc_range_in(s1, i1, j1), arc_range_in(s2, i2, j2))
+    xs, k1s, ys, k2s = _slice_arrays(s1, s2, *ranges)
+    n_rows, n_cols = len(xs), len(ys)
+    if n_rows == 0 or n_cols == 0:
+        if instrumentation is not None:
+            instrumentation.count_slice(0)
+        if keep_table:
+            rows = np.zeros((n_rows + 1, n_cols + 1), dtype=memo_values.dtype)
+            return SliceTable(i1, j1, i2, j2, xs, k1s, ys, k2s, rows)
+        return 0
+
+    # Row-invariant precomputation.  Column c (1-based) reads its d1 value
+    # at the stored column for S2 position k2s[c-1] - 1; index 0 is the zero
+    # boundary, so no masking is needed.
+    d1_cols = np.searchsorted(ys, k2s - 1, side="right")
+    d1_rows = np.searchsorted(xs, k1s - 1, side="right")
+    # One gather for all d2 terms: d2p1[r, c] = 1 + M[k1s[r] + 1, k2s[c] + 1].
+    d2p1 = memo_values[np.ix_(k1s + 1, k2s + 1)] + 1
+
+    rows = np.zeros((n_rows + 1, n_cols + 1), dtype=memo_values.dtype)
+    cand = np.empty(n_cols, dtype=memo_values.dtype)
+    for r in range(1, n_rows + 1):
+        np.take(rows[d1_rows[r - 1]], d1_cols, out=cand)
+        cand += d2p1[r - 1]
+        out = rows[r, 1:]
+        np.maximum(rows[r - 1, 1:], cand, out=out)
+        np.maximum.accumulate(out, out=out)
+
+    if instrumentation is not None:
+        instrumentation.count_slice(n_rows * n_cols)
+    table = SliceTable(i1, j1, i2, j2, xs, k1s, ys, k2s, rows)
+    return table if keep_table else table.result
+
+
+ENGINES = {
+    "python": tabulate_slice_python,
+    "vectorized": tabulate_slice_vectorized,
+}

@@ -1,0 +1,207 @@
+"""SRNA1 — the paper's first hybrid algorithm (Algorithm 1).
+
+SRNA1 tabulates the parent slice bottom-up and, whenever a matched arc pair
+``((k1, x), (k2, y))`` is encountered whose child slice ``(k1+1, k2+1)`` has
+not been memoized, recursively spawns and tabulates that child slice the
+same way.  Key properties (asserted by tests):
+
+* **lazy spawning** — only slices reachable in the dependency graph are ever
+  tabulated (an exact tabulation, unlike SRNA2's all-pairs stage one);
+* **bounded recursion** — the computation order (arcs by increasing right
+  endpoint) guarantees that by the time a child slice is spawned, every
+  slice *it* depends on is already memoized, so the spawn depth never
+  exceeds one (Section IV-A);
+* **lookup overhead** — the memo probe and conditional run inside the inner
+  loop; this is the Theta(n^2 m^2) overhead SRNA2 later removes.
+
+The optional ``memoize=False`` mode reproduces the paper's cautionary
+intermediate design ("this is not dynamic programming at all"): child slices
+are re-spawned at every matched arc, blowing up the work combinatorially on
+nested structures.  It exists for the ablation benchmark and is guarded to
+small inputs.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.core.memo import KEY_NOT_FOUND, DenseMemoTable, SparseMemoTable
+from repro.core.slices import arc_range_in
+from repro.structure.arcs import Structure
+
+__all__ = ["srna1", "SRNA1Result"]
+
+
+class SRNA1Result:
+    """Outcome of an SRNA1 run: the MCOS size plus the memo table."""
+
+    __slots__ = ("score", "memo", "instrumentation")
+
+    def __init__(
+        self,
+        score: int,
+        memo: DenseMemoTable,
+        instrumentation: Instrumentation | None,
+    ):
+        self.score = score
+        self.memo = memo
+        self.instrumentation = instrumentation
+
+    def __int__(self) -> int:
+        return self.score
+
+    def __repr__(self) -> str:
+        return f"SRNA1Result(score={self.score})"
+
+
+def _tabulate(
+    memo: DenseMemoTable,
+    s1: Structure,
+    s2: Structure,
+    i1: int,
+    j1: int,
+    i2: int,
+    j2: int,
+    *,
+    memoize: bool,
+    instrumentation: Instrumentation | None,
+) -> int:
+    """Algorithm 1: tabulate ``slice_(i1,i2)``, spawning children on demand."""
+    values = memo.values
+    known = getattr(memo, "known", None)
+    lo1, hi1 = arc_range_in(s1, i1, j1)
+    lo2, hi2 = arc_range_in(s2, i2, j2)
+    xs = s1.rights[lo1:hi1]
+    k1s = s1.lefts[lo1:hi1]
+    ys = s2.rights[lo2:hi2]
+    k2s = s2.lefts[lo2:hi2]
+    n_rows, n_cols = len(xs), len(ys)
+    if n_rows == 0 or n_cols == 0:
+        if instrumentation is not None:
+            instrumentation.count_slice(0)
+        return 0
+
+    d2_cols = k2s + 1
+    d1_cols = np.searchsorted(ys, k2s - 1, side="right")
+    d1_rows = np.searchsorted(xs, k1s - 1, side="right")
+
+    # Compressed slice with zero-boundary row 0 and column 0 (see
+    # repro.core.slices for the layout derivation).
+    rows = np.zeros((n_rows + 1, n_cols + 1), dtype=values.dtype)
+    cand = np.empty(n_cols, dtype=values.dtype)
+    ys_list = ys.tolist()
+    k2s_list = k2s.tolist()
+
+    def spawn(k1: int, x: int, k2: int, y: int) -> int:
+        """Recursive Algorithm 1 call on the child slice under the pair."""
+        ctx = (
+            instrumentation.recursion()
+            if instrumentation is not None
+            else nullcontext()
+        )
+        with ctx:
+            return _tabulate(
+                memo, s1, s2, k1 + 1, x - 1, k2 + 1, y - 1,
+                memoize=memoize, instrumentation=instrumentation,
+            )
+
+    for r in range(1, n_rows + 1):
+        k1 = int(k1s[r - 1])
+        x = int(xs[r - 1])
+        child_row = k1 + 1
+        # Algorithm 1's inner-loop memo probe: spawn any child slice not yet
+        # memoized.  (`memoize=False` re-spawns unconditionally — the
+        # redundant-computation variant the paper warns about.)
+        if memoize and known is not None:
+            row_known = known[child_row]
+            for c in range(n_cols):
+                k2 = k2s_list[c]
+                hit = bool(row_known[k2 + 1])
+                if instrumentation is not None:
+                    instrumentation.count_lookup(hit=hit)
+                if not hit:
+                    memo.store(child_row, k2 + 1, spawn(k1, x, k2, ys_list[c]))
+            d2_vals = values[child_row, d2_cols]
+        elif memoize:
+            # Dictionary-backed memo: the paper's literal formulation —
+            # "the lookup expression returns KEY_NOT_FOUND whenever a value
+            # has not been previously memoized".
+            for c in range(n_cols):
+                k2 = k2s_list[c]
+                hit = memo.lookup(child_row, k2 + 1) is not KEY_NOT_FOUND
+                if instrumentation is not None:
+                    instrumentation.count_lookup(hit=hit)
+                if not hit:
+                    memo.store(child_row, k2 + 1, spawn(k1, x, k2, ys_list[c]))
+            d2_vals = values[child_row, d2_cols]
+        else:
+            if s1.n_arcs > 64 or s2.n_arcs > 64:
+                raise MemoryError(
+                    "memoize=False re-spawns child slices combinatorially; "
+                    "refusing structures with more than 64 arcs"
+                )
+            d2_vals = np.asarray(
+                [spawn(k1, x, k2s_list[c], ys_list[c]) for c in range(n_cols)],
+                dtype=values.dtype,
+            )
+
+        # With all children resolved, the row vectorizes exactly as in
+        # TabulateSlice (see repro.core.slices for the derivation).
+        np.take(rows[d1_rows[r - 1]], d1_cols, out=cand)
+        cand += d2_vals
+        cand += 1
+        out = rows[r, 1:]
+        np.maximum(rows[r - 1, 1:], cand, out=out)
+        np.maximum.accumulate(out, out=out)
+
+    if instrumentation is not None:
+        instrumentation.count_slice(n_rows * n_cols)
+    return int(rows[-1, -1])
+
+
+def srna1(
+    s1: Structure,
+    s2: Structure,
+    *,
+    memoize: bool = True,
+    memo_backend: str = "dense",
+    instrumentation: Instrumentation | None = None,
+) -> SRNA1Result:
+    """Run SRNA1 on two structures; returns the score and the memo table.
+
+    Parameters
+    ----------
+    memoize:
+        ``True`` is Algorithm 1.  ``False`` disables the memo probe (every
+        matched arc re-spawns its child slice) — combinatorial on nested
+        structures, available only for small inputs, used by the ablation.
+    memo_backend:
+        ``"dense"`` (array + known mask, the fast default) or ``"sparse"``
+        (dictionary — the paper's literal ``KEY_NOT_FOUND`` formulation;
+        slower per probe, stores only spawned origins).  Used by the
+        memo-backend ablation.
+    """
+    n, m = s1.length, s2.length
+    if memo_backend == "dense":
+        memo = DenseMemoTable(n, m, track_known=True)
+    elif memo_backend == "sparse":
+        memo = SparseMemoTable(n, m)
+    else:
+        raise ValueError(
+            f"unknown memo_backend {memo_backend!r}; 'dense' or 'sparse'"
+        )
+    stage = (
+        instrumentation.stage("stage_one")
+        if instrumentation is not None
+        else nullcontext()
+    )
+    with stage:
+        score = _tabulate(
+            memo, s1, s2, 0, n - 1, 0, m - 1,
+            memoize=memoize, instrumentation=instrumentation,
+        )
+    memo.store(0, 0, score)
+    return SRNA1Result(score, memo, instrumentation)

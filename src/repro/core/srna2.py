@@ -1,0 +1,144 @@
+"""SRNA2 — the paper's two-stage algorithm (Algorithm 3).
+
+SRNA2 removes SRNA1's per-cell memo probe and recursion by reorganizing the
+computation so every memo read is *guaranteed* to hit:
+
+* **preprocessing** — determine the arc right endpoints of both structures
+  (already maintained by :class:`~repro.structure.arcs.Structure`) and the
+  per-arc inner index ranges;
+* **stage one** — for every pair of arcs ``(i1, j1) in S1`` (by increasing
+  ``j1``) and ``(i2, j2) in S2`` (by increasing ``j2``), tabulate the child
+  slice over ``(i1+1 .. j1-1) x (i2+1 .. j2-1)`` and memoize its last cell in
+  ``M[i1+1][i2+1]``.  The increasing-right-endpoint order means any inner
+  pair a slice depends on was tabulated in an earlier iteration, so
+  ``M`` reads never miss;
+* **stage two** — tabulate the parent slice over the full sequences, reading
+  ``M`` where matched arcs occur; its last cell is the MCOS size.
+
+This module is also the template for the parallel algorithm: PRNA
+(:mod:`repro.parallel.prna`) distributes stage one's inner loop across ranks
+and synchronizes each ``M`` row after the corresponding outer iteration.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.core.memo import DenseMemoTable
+from repro.core.slices import ENGINES
+from repro.structure.arcs import Structure
+
+__all__ = ["srna2", "SRNA2Result"]
+
+
+class SRNA2Result:
+    """Outcome of an SRNA2 run: the MCOS size plus the memo table.
+
+    Keeping the memo table allows backtracing
+    (:mod:`repro.core.backtrace`) and lets PRNA's tests compare parallel and
+    sequential tables cell by cell.
+    """
+
+    __slots__ = ("score", "memo", "instrumentation")
+
+    def __init__(
+        self,
+        score: int,
+        memo: DenseMemoTable,
+        instrumentation: Instrumentation | None,
+    ):
+        self.score = score
+        self.memo = memo
+        self.instrumentation = instrumentation
+
+    def __int__(self) -> int:
+        return self.score
+
+    def __repr__(self) -> str:
+        return f"SRNA2Result(score={self.score})"
+
+
+def srna2(
+    s1: Structure,
+    s2: Structure,
+    *,
+    engine: str = "vectorized",
+    instrumentation: Instrumentation | None = None,
+    dtype=None,
+) -> SRNA2Result:
+    """Run SRNA2 (Algorithm 3) on two structures.
+
+    Parameters
+    ----------
+    engine:
+        ``"vectorized"`` (production) or ``"python"`` (readable reference);
+        see :data:`repro.core.slices.ENGINES`.
+    instrumentation:
+        Optional counters; stage times feed the Table III experiment.
+    dtype:
+        Memo/slice cell type (default ``numpy.int64``).  ``numpy.int32``
+        halves the footprint and matches the paper's 4-byte cells; scores
+        are bounded by ``min(|S1|, |S2|)``, so any integer type of at
+        least 32 bits is safe for realistic inputs.
+    """
+    try:
+        tabulate = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown slice engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+    n, m = s1.length, s2.length
+
+    def stage(name: str):
+        return (
+            instrumentation.stage(name)
+            if instrumentation is not None
+            else nullcontext()
+        )
+
+    # Preprocessing: endpoint orders and inner ranges.  These are cached
+    # properties of Structure, so touching them here both mirrors the
+    # paper's preprocessing step and makes Table III's timing honest.
+    with stage("preprocessing"):
+        memo = DenseMemoTable(n, m, dtype=dtype if dtype is not None else np.int64)
+        inner1 = s1.inner_ranges
+        inner2 = s2.inner_ranges
+        lefts1 = s1.lefts.tolist()
+        lefts2 = s2.lefts.tolist()
+        rights1 = s1.rights.tolist()
+        rights2 = s2.rights.tolist()
+        n_arcs1, n_arcs2 = s1.n_arcs, s2.n_arcs
+
+    # Stage one: tabulate every child slice, outer loop by increasing j1,
+    # inner loop by increasing j2 (the arcs are stored in exactly that
+    # order).
+    with stage("stage_one"):
+        values = memo.values
+        for a in range(n_arcs1):
+            i1, j1 = lefts1[a], rights1[a]
+            r1 = (int(inner1[a, 0]), int(inner1[a, 1]))
+            row = values[i1 + 1]
+            for b in range(n_arcs2):
+                i2, j2 = lefts2[b], rights2[b]
+                row[i2 + 1] = tabulate(
+                    values, s1, s2,
+                    i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                    ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
+                    instrumentation=instrumentation,
+                )
+
+    # Stage two: the parent slice over the full sequences.
+    with stage("stage_two"):
+        score = int(
+            tabulate(
+                memo.values, s1, s2, 0, n - 1, 0, m - 1,
+                ranges=((0, n_arcs1), (0, n_arcs2)),
+                instrumentation=instrumentation,
+            )
+        )
+        memo.store(0, 0, score)
+
+    return SRNA2Result(score, memo, instrumentation)

@@ -1,0 +1,127 @@
+"""Top-down memoized evaluation of the recurrence (the classic baseline).
+
+This is the approach the paper contrasts against (Section II, Figure 3): a
+depth-first traversal of the dependency graph with a memoization table keyed
+by the full subproblem tuple ``(i1, j1, i2, j2)``.  It performs an *exact
+tabulation* (only subproblems that contribute to the result are visited) but
+pays dictionary lookups and traversal overhead per subproblem, and its memo
+table can grow toward the full Theta(n^2 m^2) — the memory blow-up that
+motivates the paper's slice-based algorithms.
+
+Implemented with an explicit work stack rather than Python recursion so deep
+instances do not hit the interpreter's recursion limit.
+"""
+
+from __future__ import annotations
+
+from repro.core.instrument import Instrumentation
+from repro.structure.arcs import Structure
+
+__all__ = ["topdown_mcos", "reachable_subproblems"]
+
+
+def topdown_mcos(
+    s1: Structure,
+    s2: Structure,
+    *,
+    instrumentation: Instrumentation | None = None,
+    max_subproblems: int | None = 50_000_000,
+) -> int:
+    """MCOS size via memoized top-down evaluation.
+
+    Parameters
+    ----------
+    max_subproblems:
+        Guard against accidental huge runs — the memo table may approach
+        ``n^2 m^2 / 4`` entries on dense structures.  ``None`` disables it.
+    """
+    n, m = s1.length, s2.length
+    if n == 0 or m == 0 or s1.n_arcs == 0 or s2.n_arcs == 0:
+        return 0
+    partner1 = s1.partner
+    partner2 = s2.partner
+    memo: dict[tuple[int, int, int, int], int] = {}
+
+    root = (0, n - 1, 0, m - 1)
+    # Work stack of subproblems; a subproblem is (re)expanded until all of
+    # its dependencies are memoized, then folded.
+    stack = [root]
+    while stack:
+        sub = stack[-1]
+        if sub in memo:
+            stack.pop()
+            continue
+        i1, j1, i2, j2 = sub
+        if j1 < i1 or j2 < i2:
+            memo[sub] = 0
+            stack.pop()
+            continue
+
+        deps = [(i1, j1 - 1, i2, j2), (i1, j1, i2, j2 - 1)]
+        k1 = int(partner1[j1])
+        k2 = int(partner2[j2])
+        matched = (
+            k1 != -1 and k2 != -1 and i1 <= k1 < j1 and i2 <= k2 < j2
+        )
+        if matched:
+            deps.append((i1, k1 - 1, i2, k2 - 1))
+            deps.append((k1 + 1, j1 - 1, k2 + 1, j2 - 1))
+
+        missing = [d for d in deps if d not in memo and not (d[1] < d[0] or d[3] < d[2])]
+        if instrumentation is not None:
+            for d in deps:
+                instrumentation.count_lookup(hit=d in memo)
+        if missing:
+            stack.extend(missing)
+            continue
+
+        def val(d: tuple[int, int, int, int]) -> int:
+            if d[1] < d[0] or d[3] < d[2]:
+                return 0
+            return memo[d]
+
+        best = max(val(deps[0]), val(deps[1]))
+        if matched:
+            best = max(best, 1 + val(deps[2]) + val(deps[3]))
+        memo[sub] = best
+        stack.pop()
+        if max_subproblems is not None and len(memo) > max_subproblems:
+            raise MemoryError(
+                f"top-down memo table exceeded {max_subproblems} entries; "
+                "use SRNA2 for instances of this size"
+            )
+    if instrumentation is not None:
+        instrumentation.cells_tabulated += len(memo)
+    return memo[root]
+
+
+def reachable_subproblems(s1: Structure, s2: Structure) -> set[tuple[int, int, int, int]]:
+    """The exact set of subproblems a top-down traversal visits.
+
+    This is the paper's "exact tabulation" — the dependency graph of Figure 3
+    restricted to nodes reachable from the root.  Used by tests to confirm
+    that SRNA1 visits no more slices than are reachable.
+    """
+    n, m = s1.length, s2.length
+    if n == 0 or m == 0:
+        return set()
+    partner1 = s1.partner
+    partner2 = s2.partner
+    seen: set[tuple[int, int, int, int]] = set()
+    stack = [(0, n - 1, 0, m - 1)]
+    while stack:
+        sub = stack.pop()
+        if sub in seen:
+            continue
+        i1, j1, i2, j2 = sub
+        if j1 < i1 or j2 < i2:
+            continue
+        seen.add(sub)
+        stack.append((i1, j1 - 1, i2, j2))
+        stack.append((i1, j1, i2, j2 - 1))
+        k1 = int(partner1[j1])
+        k2 = int(partner2[j2])
+        if k1 != -1 and k2 != -1 and i1 <= k1 < j1 and i2 <= k2 < j2:
+            stack.append((i1, k1 - 1, i2, k2 - 1))
+            stack.append((k1 + 1, j1 - 1, k2 + 1, j2 - 1))
+    return seen

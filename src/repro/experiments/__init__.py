@@ -1,0 +1,29 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one evaluation artifact:
+
+========  ==========================================================
+Module    Paper artifact
+========  ==========================================================
+table1    Table I — SRNA1 vs SRNA2 wall time, contrived worst case
+table2    Table II — SRNA1 vs SRNA2 on the 23S rRNA stand-ins
+table3    Table III — SRNA2 per-stage execution share
+figure8   Figure 8 — PRNA speedup vs processors (simulated cluster)
+ablations Design-choice ablations (partitioners, engines, sync
+          granularity, memoization, collective algorithms, backends)
+========  ==========================================================
+
+Run them from the command line::
+
+    python -m repro.experiments all --scale quick
+    python -m repro.experiments table1 --scale paper
+
+``--scale quick`` shrinks problem sizes so everything finishes in minutes
+on a laptop; ``--scale paper`` uses the paper's sizes where feasible in
+Python (documented per experiment).  Results print as paper-style tables
+and can be written to a machine-readable JSON report.
+"""
+
+from repro.experiments.report import ExperimentRecord, ExperimentReport
+
+__all__ = ["ExperimentRecord", "ExperimentReport"]

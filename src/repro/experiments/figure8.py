@@ -1,0 +1,149 @@
+"""Figure 8 — PRNA speedup on contrived worst-case data.
+
+Paper: "Speedup for PRNA using contrived worst-case data.  Up to 32X speedup
+was achieved using 64 processors and 1600 nested arcs (a sequence containing
+3200 bases), and up to 22X speedup was achieved using 64 processors and 800
+nested arcs (a sequence containing 1600 bases)."
+
+This host is a single offline core, so the curve is regenerated two ways
+(see DESIGN.md, substitutions):
+
+1. **Simulated cluster** (the headline reproduction):
+   :class:`~repro.parallel.simulator.PRNASimulator` replays PRNA's exact
+   stage-one schedule — the same greedy column partition and per-row
+   Allreduce — against the paper-calibrated work model and the modelled
+   Fundy-like cluster (8 nodes x 8 cores, alpha-beta network, intra-node
+   memory contention).  Shape targets: monotone speedup through P = 64;
+   the 1600-arc curve above the 800-arc curve at every P; end points near
+   32x and 22x.
+
+2. **Executed virtual time** (cross-validation, small scale): PRNA actually
+   runs on the thread backend with analytic charging at a reduced problem
+   size and small rank counts, and the executed virtual times are compared
+   with the simulator's closed-form prediction.  The tests require the two
+   to agree within a few percent, which pins the simulator to the real
+   algorithm rather than to wishful algebra.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_speedup_series
+from repro.experiments.report import ExperimentRecord
+from repro.mpi.costmodel import CostModel
+from repro.parallel.prna import prna
+from repro.parallel.simulator import PRNASimulator
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+__all__ = ["run", "PAPER_SPEEDUPS", "PROBLEMS"]
+
+#: Approximate end points reported by the paper's Figure 8.
+PAPER_SPEEDUPS = {"800 arcs": {64: 22.0}, "1600 arcs": {64: 32.0}}
+
+PROBLEMS = {
+    "quick": {"800 arcs": 1600},
+    "default": {"800 arcs": 1600, "1600 arcs": 3200},
+    "paper": {"800 arcs": 1600, "1600 arcs": 3200},
+}
+
+RANKS = {
+    "quick": [1, 2, 4, 8, 16, 32, 64],
+    "default": [1, 2, 4, 8, 16, 32, 64],
+    "paper": [1, 2, 4, 8, 16, 32, 64],
+}
+
+#: Executed cross-validation configuration (small on purpose).
+VALIDATE_LENGTH = 200
+VALIDATE_RANKS = [1, 2, 4]
+
+
+def run(scale: str = "default", validate_executed: bool = True) -> ExperimentRecord:
+    """Regenerate the Figure 8 speedup curves."""
+    simulator = PRNASimulator()
+    curves: dict[str, dict[int, float]] = {}
+    records: list[dict] = []
+    for label, length in PROBLEMS[scale].items():
+        structure = contrived_worst_case(length)
+        curve: dict[int, float] = {}
+        for report in simulator.sweep(structure, structure, RANKS[scale]):
+            curve[report.n_ranks] = report.speedup
+            records.append(
+                {
+                    "problem": label,
+                    "length": length,
+                    "n_ranks": report.n_ranks,
+                    "speedup": report.speedup,
+                    "efficiency": report.efficiency,
+                    "stage_one_seconds": report.stage_one_seconds,
+                    "comm_seconds": report.comm_seconds,
+                    "imbalance": report.imbalance,
+                    "paper_speedup": PAPER_SPEEDUPS.get(label, {}).get(
+                        report.n_ranks
+                    ),
+                }
+            )
+        curves[label] = curve
+
+    notes = [
+        "Simulated Fundy-like cluster (8 nodes x 8 cores); paper-calibrated "
+        "work model; greedy column partition; per-row Allreduce "
+        "(recursive doubling).",
+        "Paper end points: 22x (800 arcs) and 32x (1600 arcs) at P=64.",
+    ]
+
+    if validate_executed:
+        structure = contrived_worst_case(VALIDATE_LENGTH)
+        work_model = WorkModel.default()
+        cost_model = CostModel(simulator.cluster)
+        mismatches = []
+        for p in VALIDATE_RANKS:
+            executed = prna(
+                structure, structure, p,
+                backend="thread", charge="analytic",
+                work_model=work_model, cost_model=cost_model,
+            )
+            predicted = simulator.simulate(structure, structure, p)
+            records.append(
+                {
+                    "problem": f"executed-validation ({VALIDATE_LENGTH})",
+                    "length": VALIDATE_LENGTH,
+                    "n_ranks": p,
+                    "executed_virtual_seconds": executed.simulated_time,
+                    "simulated_seconds": predicted.total_seconds,
+                }
+            )
+            if executed.simulated_time:
+                rel = abs(executed.simulated_time - predicted.total_seconds)
+                rel /= predicted.total_seconds
+                mismatches.append(rel)
+        notes.append(
+            "Executed-vs-simulated virtual time relative error at "
+            f"n={VALIDATE_LENGTH}: "
+            + ", ".join(f"{r:.1%}" for r in mismatches)
+        )
+
+    rendered = format_speedup_series(
+        curves,
+        title="Figure 8: PRNA speedup, contrived worst-case data "
+        "(simulated cluster)",
+    )
+    return ExperimentRecord(
+        experiment="figure8",
+        paper_reference="Figure 8",
+        parameters={
+            "scale": scale,
+            "problems": PROBLEMS[scale],
+            "ranks": RANKS[scale],
+            "cluster": {
+                "nodes": simulator.cluster.n_nodes,
+                "cores_per_node": simulator.cluster.cores_per_node,
+                "alpha": simulator.cluster.alpha,
+                "beta": simulator.cluster.beta,
+                "sync_overhead": simulator.cluster.sync_overhead,
+                "contention": simulator.cluster.contention,
+            },
+        },
+        rows=records,
+        rendered=rendered,
+        notes=" ".join(notes),
+    )

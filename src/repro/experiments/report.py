@@ -1,0 +1,76 @@
+"""Structured experiment results and report serialization."""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro._version import __version__
+
+__all__ = ["ExperimentRecord", "ExperimentReport"]
+
+
+@dataclass
+class ExperimentRecord:
+    """One experiment's outcome: identity, parameters, rows, rendering."""
+
+    experiment: str  # e.g. "table1"
+    paper_reference: str  # e.g. "Table I"
+    parameters: dict[str, Any]
+    rows: list[dict[str, Any]]
+    rendered: str  # the paper-style plain-text table
+    notes: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for JSON serialization."""
+        return asdict(self)
+
+
+@dataclass
+class ExperimentReport:
+    """A collection of experiment records plus environment metadata."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one experiment's record to the report."""
+        self.records.append(record)
+
+    def environment(self) -> dict[str, Any]:
+        """Software/hardware metadata stamped into every report."""
+        return {
+            "repro_version": __version__,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The full report (environment + experiments) as JSON text."""
+        payload = {
+            "environment": self.environment(),
+            "experiments": [record.to_dict() for record in self.records],
+        }
+        return json.dumps(payload, indent=indent)
+
+    def save(self, path: str) -> None:
+        """Write the JSON report to *path*."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def render(self) -> str:
+        """All rendered tables concatenated, with headers and notes."""
+        blocks = []
+        for record in self.records:
+            blocks.append(f"== {record.paper_reference} ({record.experiment}) ==")
+            blocks.append(record.rendered)
+            if record.notes:
+                blocks.append(f"notes: {record.notes}")
+            blocks.append("")
+        return "\n".join(blocks)

@@ -1,0 +1,129 @@
+"""Command-line experiment runner: ``python -m repro.experiments ...``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablations,
+    efficiency,
+    figure8,
+    space,
+    table1,
+    table2,
+    table3,
+    verify,
+)
+from repro.experiments.report import ExperimentRecord, ExperimentReport
+
+__all__ = ["main"]
+
+SCALES = ("quick", "default", "paper")
+
+
+def _run_table1(scale: str) -> list[ExperimentRecord]:
+    return [table1.run(scale=scale)]
+
+
+def _run_table2(scale: str) -> list[ExperimentRecord]:
+    return [table2.run(scale=scale)]
+
+
+def _run_table3(scale: str) -> list[ExperimentRecord]:
+    return [table3.run(scale=scale)]
+
+
+def _run_figure8(scale: str) -> list[ExperimentRecord]:
+    return [figure8.run(scale=scale)]
+
+
+def _run_ablations(scale: str) -> list[ExperimentRecord]:
+    return ablations.run(scale=scale)
+
+
+def _run_space(scale: str) -> list[ExperimentRecord]:
+    return [space.run(scale=scale)]
+
+
+def _run_verify(scale: str) -> list[ExperimentRecord]:
+    return [verify.run(scale=scale)]
+
+
+def _run_efficiency(scale: str) -> list[ExperimentRecord]:
+    return [efficiency.run(scale=scale)]
+
+
+RUNNERS: dict[str, Callable[[str], list[ExperimentRecord]]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "figure8": _run_figure8,
+    "ablations": _run_ablations,
+    "space": _run_space,
+    "verify": _run_verify,
+    "efficiency": _run_efficiency,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Experiment-runner entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the paper's evaluation artifacts (Tables I-III, "
+            "Figure 8) and the design ablations."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(RUNNERS) + ["all"],
+        help="which experiments to run ('all' runs every one)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=SCALES,
+        default="default",
+        help=(
+            "problem sizes: quick (seconds), default (a few minutes), "
+            "paper (the paper's sizes; Table I at 1600 takes a long time "
+            "in Python)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write a machine-readable JSON report to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(RUNNERS) if "all" in args.experiments else args.experiments
+    seen = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+
+    report = ExperimentReport()
+    for name in seen:
+        try:
+            records = RUNNERS[name](args.scale)
+        except Exception as exc:
+            raise ExperimentError(f"experiment {name!r} failed: {exc}") from exc
+        for record in records:
+            report.add(record)
+            print(record.rendered)
+            if record.notes:
+                print(f"notes: {record.notes}")
+            print()
+    if args.json:
+        report.save(args.json)
+        print(f"JSON report written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,109 @@
+"""Table I — SRNA1 vs SRNA2 on contrived worst-case data.
+
+Paper: "EXECUTION TIMES (IN SECONDS) OF SRNA1 AND SRNA2 FOR SEQUENCES OF
+LENGTHS 100 TO 1600 USING CONTRIVED WORST-CASE DATA."
+
+=======  ======  ======  ======  ======  ========
+          100     200     400     800     1600
+=======  ======  ======  ======  ======  ========
+SRNA1    0.015   0.238   4.008   76.371  1434.856
+SRNA2    0.008   0.128   2.323   37.799  660.696
+=======  ======  ======  ======  ======  ========
+
+Reproduction target is the *shape*, not the absolute numbers (C on a 2.8 GHz
+Opteron vs Python/NumPy here): SRNA2 roughly 2x faster than SRNA1 at every
+size, both growing ~16x per doubling of the length (the Theta(n^4)/16 law of
+the maximally nested structure).  ``--scale quick`` stops at length 200;
+``--scale paper`` runs 100..1600 (the 1600 column takes tens of minutes of
+NumPy time — documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.experiments.report import ExperimentRecord
+from repro.perf.timing import time_call
+from repro.structure.generators import contrived_worst_case
+
+__all__ = ["run", "PAPER_TIMES", "LENGTHS"]
+
+LENGTHS = {
+    "quick": [100, 200],
+    "default": [100, 200, 400],
+    "paper": [100, 200, 400, 800, 1600],
+}
+
+#: The paper's measured seconds, for side-by-side reporting.
+PAPER_TIMES = {
+    "SRNA1": {100: 0.015, 200: 0.238, 400: 4.008, 800: 76.371, 1600: 1434.856},
+    "SRNA2": {100: 0.008, 200: 0.128, 400: 2.323, 800: 37.799, 1600: 660.696},
+}
+
+
+def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
+    """Measure SRNA1/SRNA2 on worst-case self-comparisons."""
+    lengths = LENGTHS[scale]
+    measured: dict[str, dict[int, float]] = {"SRNA1": {}, "SRNA2": {}}
+    scores: dict[int, int] = {}
+    for length in lengths:
+        structure = contrived_worst_case(length)
+        t2 = time_call(lambda: srna2(structure, structure), repeat=repeat)
+        t1 = time_call(lambda: srna1(structure, structure), repeat=repeat)
+        assert t1.value.score == t2.value.score == length // 2
+        measured["SRNA1"][length] = t1.best
+        measured["SRNA2"][length] = t2.best
+        scores[length] = t2.value.score
+
+    rows = []
+    for algo in ("SRNA1", "SRNA2"):
+        rows.append(
+            [algo + " (here)"]
+            + [measured[algo][length] for length in lengths]
+        )
+        rows.append(
+            [algo + " (paper)"]
+            + [PAPER_TIMES[algo].get(length, float("nan")) for length in lengths]
+        )
+    rows.append(
+        ["ratio S1/S2 (here)"]
+        + [
+            measured["SRNA1"][length] / measured["SRNA2"][length]
+            for length in lengths
+        ]
+    )
+    rows.append(
+        ["ratio S1/S2 (paper)"]
+        + [
+            PAPER_TIMES["SRNA1"][length] / PAPER_TIMES["SRNA2"][length]
+            for length in lengths
+        ]
+    )
+    rendered = format_table(
+        ["algorithm"] + [str(length) for length in lengths],
+        rows,
+        title="Table I: execution times (s), contrived worst-case data",
+    )
+    records = [
+        {
+            "length": length,
+            "srna1_seconds": measured["SRNA1"][length],
+            "srna2_seconds": measured["SRNA2"][length],
+            "score": scores[length],
+            "paper_srna1": PAPER_TIMES["SRNA1"].get(length),
+            "paper_srna2": PAPER_TIMES["SRNA2"].get(length),
+        }
+        for length in lengths
+    ]
+    return ExperimentRecord(
+        experiment="table1",
+        paper_reference="Table I",
+        parameters={"scale": scale, "lengths": lengths, "repeat": repeat},
+        rows=records,
+        rendered=rendered,
+        notes=(
+            "Shape targets: SRNA2 ~2x faster than SRNA1; ~16x growth per "
+            "doubling. Absolute values differ (Python/NumPy vs C)."
+        ),
+    )

@@ -1,0 +1,109 @@
+"""Table II — SRNA1 vs SRNA2 on the 23S ribosomal RNA structures.
+
+Paper: "EXECUTION TIMES (IN SECONDS) OF SRNA1 AND SRNA2 FOR SEQUENCES OF
+LENGTHS 4216 (721 ARCS) AND 4381 (1126 ARCS)" — each structure self-compared.
+
+============  =============  =======================
+               Fungus (721)   Malaria Parasite (1126)
+============  =============  =======================
+SRNA1          49.149         86.887
+SRNA2          25.472         39.028
+============  =============  =======================
+
+The real GenBank structures (L47585, U48228) are not available offline; the
+registered datasets are seeded synthetic stand-ins with identical length,
+arc count and rRNA-like helix composition (see
+:mod:`repro.structure.datasets` and DESIGN.md).  Shape targets: SRNA2 takes
+roughly half of SRNA1's time, and the larger/denser Malaria structure takes
+longer than Fungus under both algorithms.
+
+``--scale quick`` shrinks both structures to 1/4 size (same topology
+statistics) so the experiment finishes in seconds.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.experiments.report import ExperimentRecord
+from repro.perf.timing import time_call
+from repro.structure.arcs import Structure
+from repro.structure.datasets import REGISTRY, get_dataset
+from repro.structure.generators import rna_like_structure
+
+__all__ = ["run", "PAPER_TIMES"]
+
+PAPER_TIMES = {
+    "fungus": {"SRNA1": 49.149, "SRNA2": 25.472},
+    "malaria": {"SRNA1": 86.887, "SRNA2": 39.028},
+}
+
+_QUICK_SEEDS = {"fungus": 0x515, "malaria": 0x516}
+
+
+def _dataset(name: str, scale: str) -> Structure:
+    if scale == "quick":
+        info = REGISTRY[name][0]
+        return rna_like_structure(
+            info.length // 4, info.n_arcs // 4, seed=_QUICK_SEEDS[name]
+        )
+    return get_dataset(name)
+
+
+def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
+    """Self-compare both rRNA stand-ins with SRNA1 and SRNA2."""
+    names = ["fungus", "malaria"]
+    measured: dict[str, dict[str, float]] = {}
+    details: list[dict] = []
+    for name in names:
+        structure = _dataset(name, scale)
+        t2 = time_call(lambda: srna2(structure, structure), repeat=repeat)
+        t1 = time_call(lambda: srna1(structure, structure), repeat=repeat)
+        # A self-comparison must match every arc.
+        assert t1.value.score == t2.value.score == structure.n_arcs
+        measured[name] = {"SRNA1": t1.best, "SRNA2": t2.best}
+        details.append(
+            {
+                "dataset": name,
+                "length": structure.length,
+                "n_arcs": structure.n_arcs,
+                "srna1_seconds": t1.best,
+                "srna2_seconds": t2.best,
+                "paper_srna1": PAPER_TIMES[name]["SRNA1"],
+                "paper_srna2": PAPER_TIMES[name]["SRNA2"],
+                "score": t2.value.score,
+            }
+        )
+
+    headers = ["algorithm"] + [
+        f"{name} ({detail['n_arcs']} arcs)"
+        for name, detail in zip(names, details)
+    ]
+    rows = []
+    for algo in ("SRNA1", "SRNA2"):
+        rows.append([f"{algo} (here)"] + [measured[n][algo] for n in names])
+        rows.append(
+            [f"{algo} (paper)"] + [PAPER_TIMES[n][algo] for n in names]
+        )
+    rows.append(
+        ["ratio S1/S2 (here)"]
+        + [measured[n]["SRNA1"] / measured[n]["SRNA2"] for n in names]
+    )
+    rendered = format_table(
+        headers,
+        rows,
+        title="Table II: execution times (s), 23S rRNA stand-ins (self-compare)",
+    )
+    return ExperimentRecord(
+        experiment="table2",
+        paper_reference="Table II",
+        parameters={"scale": scale, "repeat": repeat},
+        rows=details,
+        rendered=rendered,
+        notes=(
+            "Synthetic stand-ins for GenBank L47585/U48228 (offline "
+            "environment); same length/arc-count/helix statistics. Shape "
+            "targets: SRNA2 ~= SRNA1/2; malaria slower than fungus."
+        ),
+    )

@@ -1,0 +1,37 @@
+"""MPI-like message-passing substrate.
+
+The paper implements PRNA with OpenMPI on a distributed-memory cluster.
+This environment is a single offline machine, so the substrate is built
+in-package (see DESIGN.md, substitutions): an mpi4py-flavoured
+:class:`~repro.mpi.communicator.Communicator` API with
+
+* a **thread backend** (:mod:`repro.mpi.inprocess`) — real concurrency,
+  shared memory, GIL-bound compute (which is itself one of the repro's
+  documented observations);
+* a **process backend** (:mod:`repro.mpi.process`) — real parallelism
+  across the GIL via ``multiprocessing`` pipes;
+* a **virtual clock** (:mod:`repro.mpi.virtualtime`) charged from measured
+  per-rank CPU time or analytic work models, combined with communication
+  **cost models** (:mod:`repro.mpi.costmodel`) so cluster-scale executions
+  can be simulated faithfully on one core.
+
+Collective algorithms (linear, recursive doubling, ring) are implemented
+over abstract point-to-point sends in :mod:`repro.mpi.reduce_algos` and are
+shared by the backends and the cost models.
+"""
+
+from repro.mpi.communicator import Communicator, ReduceOp
+from repro.mpi.costmodel import ClusterSpec, CostModel
+from repro.mpi.inprocess import run_threaded
+from repro.mpi.process import run_multiprocess
+from repro.mpi.virtualtime import VirtualClock
+
+__all__ = [
+    "Communicator",
+    "ReduceOp",
+    "ClusterSpec",
+    "CostModel",
+    "VirtualClock",
+    "run_threaded",
+    "run_multiprocess",
+]

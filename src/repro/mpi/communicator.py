@@ -1,0 +1,385 @@
+"""Abstract communicator — the mpi4py-flavoured API the backends implement.
+
+Following mpi4py's convention, lowercase methods (``send``/``recv``/
+``bcast``/``allreduce``/``gather``/``scatter``) move arbitrary picklable
+Python objects, while the uppercase :meth:`Communicator.Allreduce` reduces a
+NumPy buffer **in place** — the primitive PRNA uses to synchronize each
+memoization-table row ("MPI_Allreduce with the beginning address of the row
+... using the MPI_MAX operation", Section V-B).
+
+Every communicator optionally carries a :class:`~repro.mpi.virtualtime
+.VirtualClock` and a :class:`~repro.mpi.costmodel.CostModel`; when present,
+communication calls charge their modelled cost and synchronize clocks, so
+the same SPMD program yields both answers *and* simulated cluster timings.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.errors import CommunicatorError
+from repro.mpi.costmodel import CostModel
+from repro.mpi.datatypes import ReduceOp, apply_op
+from repro.mpi.virtualtime import VirtualClock
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Approximate wire size of a message payload (cheap, stats-only)."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, str)):
+        return len(obj)
+    try:
+        import pickle
+
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # pragma: no cover - unpicklable payloads
+        return 0
+
+__all__ = [
+    "Communicator",
+    "CommStats",
+    "ReduceOp",
+    "Request",
+    "SelfCommunicator",
+]
+
+
+class CommStats:
+    """Per-rank communication counters.
+
+    Attach with :meth:`Communicator.enable_stats`; every point-to-point
+    and collective operation is tallied, letting tests assert a program's
+    *communication pattern* — e.g. that PRNA performs exactly one row
+    Allreduce per outer arc and nothing else (paper §V-B).
+    """
+
+    __slots__ = (
+        "sends",
+        "recvs",
+        "bytes_sent",
+        "barriers",
+        "bcasts",
+        "allreduces",
+        "allreduce_bytes",
+        "exchanges",
+    )
+
+    def __init__(self) -> None:
+        self.sends = 0
+        self.recvs = 0
+        self.bytes_sent = 0
+        self.barriers = 0
+        self.bcasts = 0
+        self.allreduces = 0
+        self.allreduce_bytes = 0
+        self.exchanges = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"CommStats({parts})"
+
+
+class Request:
+    """Handle for a nonblocking operation (mpi4py ``isend``/``irecv`` style).
+
+    ``wait()`` blocks until the operation completes and returns its value
+    (``None`` for sends); ``test()`` polls without blocking and returns
+    ``(done, value)``.
+    """
+
+    __slots__ = ("_comm", "_source", "_tag", "_done", "_value")
+
+    def __init__(
+        self,
+        comm: "Communicator | None" = None,
+        source: int | None = None,
+        tag: int = 0,
+        value: Any = None,
+        done: bool = False,
+    ):
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = done
+        self._value = value
+
+    @classmethod
+    def completed(cls, value: Any = None) -> "Request":
+        return cls(value=value, done=True)
+
+    def wait(self) -> Any:
+        """Block until complete; returns the received value (sends: None)."""
+        if not self._done:
+            assert self._comm is not None and self._source is not None
+            self._value = self._comm.recv(self._source, self._tag)
+            self._done = True
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        """Poll without blocking; returns ``(done, value)``."""
+        if self._done:
+            return True, self._value
+        assert self._comm is not None and self._source is not None
+        found, value = self._comm._try_recv(self._source, self._tag)
+        if found:
+            self._value = value
+            self._done = True
+        return self._done, self._value
+
+
+class Communicator(ABC):
+    """SPMD communication endpoint for one rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        clock: VirtualClock | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        if not 0 <= rank < size:
+            raise CommunicatorError(f"rank {rank} outside [0, {size})")
+        self._rank = rank
+        self._size = size
+        self.clock = clock
+        self.cost_model = cost_model
+        self.stats: CommStats | None = None
+
+    def enable_stats(self) -> CommStats:
+        """Attach (and return) communication counters for this rank."""
+        if self.stats is None:
+            self.stats = CommStats()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank in ``[0, size)``."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._size
+
+    # -- primitives every backend must provide ---------------------------
+    @abstractmethod
+    def _send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Backend primitive: buffered send of a picklable object."""
+
+    @abstractmethod
+    def _recv(self, source: int, tag: int = 0) -> Any:
+        """Backend primitive: blocking receive with matching *tag*."""
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking-buffered send of a picklable object."""
+        self._send(obj, dest, tag)
+        if self.stats is not None:
+            self.stats.sends += 1
+            self.stats.bytes_sent += _payload_bytes(obj)
+
+    def recv(self, source: int, tag: int = 0) -> Any:
+        """Blocking receive from *source* with matching *tag*."""
+        payload = self._recv(source, tag)
+        if self.stats is not None:
+            self.stats.recvs += 1
+        return payload
+
+    def _try_recv(self, source: int, tag: int = 0) -> tuple[bool, Any]:
+        """Nonblocking receive attempt; returns ``(found, payload)``."""
+        raise CommunicatorError(
+            f"{type(self).__name__} does not support nonblocking receives"
+        )
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> "Request":
+        """Nonblocking send.  Both backends buffer sends, so the operation
+        completes immediately; the :class:`Request` is returned for API
+        symmetry with MPI."""
+        self.send(obj, dest, tag)
+        return Request.completed()
+
+    def irecv(self, source: int, tag: int = 0) -> "Request":
+        """Nonblocking receive: returns a :class:`Request` to ``wait()`` on
+        or ``test()``."""
+        if not 0 <= source < self._size:
+            raise CommunicatorError(f"source {source} outside [0, {self._size})")
+        return Request(self, source, tag)
+
+    @abstractmethod
+    def _barrier(self) -> None:
+        """Backend primitive: block until every rank has entered."""
+
+    @abstractmethod
+    def _exchange(self, key: str, payload: Any) -> list[Any]:
+        """Collective rendezvous: deposit *payload*, return all payloads
+        ordered by rank.  *key* names the collective for mismatch checks."""
+
+    def _count_exchange(self) -> None:
+        if self.stats is not None:
+            self.stats.exchanges += 1
+
+    def barrier(self) -> None:
+        """Block until every rank has entered the barrier.
+
+        Like every collective, a barrier is a virtual-time synchronization
+        point: participating clocks advance together.
+        """
+        self._barrier()
+        if self.stats is not None:
+            self.stats.barriers += 1
+        self._charge_collective("barrier", 0)
+
+    # -- collectives built on the rendezvous ------------------------------
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast *obj* from *root*; every rank returns the root's value."""
+        self._check_root(root)
+        values = self._exchange("bcast", obj if self._rank == root else None)
+        if self.stats is not None:
+            self.stats.bcasts += 1
+        self._charge_collective("bcast", 128)
+        return values[root]
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one object per rank at *root* (others get ``None``)."""
+        self._check_root(root)
+        values = self._exchange("gather", obj)
+        self._count_exchange()
+        self._charge_collective("bcast", 128)
+        return values if self._rank == root else None
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one object per rank at every rank."""
+        values = self._exchange("allgather", obj)
+        self._count_exchange()
+        self._charge_collective("allreduce", 128)
+        return values
+
+    def scatter(self, objs: Sequence[Any] | None, root: int = 0) -> Any:
+        """Distribute ``objs[r]`` from *root* to each rank ``r``."""
+        self._check_root(root)
+        if self._rank == root:
+            if objs is None or len(objs) != self._size:
+                raise CommunicatorError(
+                    f"scatter at root needs exactly {self._size} items"
+                )
+            payload = list(objs)
+        else:
+            payload = None
+        values = self._exchange("scatter", payload)
+        self._count_exchange()
+        self._charge_collective("bcast", 128)
+        return values[root][self._rank]
+
+    def allreduce(self, value: Any, op: ReduceOp = ReduceOp.SUM) -> Any:
+        """Reduce scalars/objects across ranks; every rank gets the result."""
+        values = self._exchange("allreduce", value)
+        result = values[0]
+        for other in values[1:]:
+            result = apply_op(op, result, other)
+        self._count_exchange()
+        self._charge_collective("allreduce", 64)
+        return result
+
+    def reduce(self, value: Any, op: ReduceOp = ReduceOp.SUM, root: int = 0) -> Any:
+        """Reduce to *root*; other ranks return ``None``."""
+        result = self.allreduce(value, op)
+        return result if self._rank == root else None
+
+    def Allreduce(self, buffer: np.ndarray, op: ReduceOp = ReduceOp.MAX) -> None:
+        """In-place elementwise reduction of a NumPy buffer across ranks.
+
+        This is PRNA's row-synchronization primitive.  After the call every
+        rank's *buffer* holds the elementwise reduction of all ranks'
+        buffers.
+        """
+        if not isinstance(buffer, np.ndarray):
+            raise CommunicatorError(
+                f"Allreduce requires a numpy array, got {type(buffer).__name__}"
+            )
+        shapes = self._exchange("Allreduce:shape", (buffer.shape, str(op)))
+        if any(s != shapes[0] for s in shapes):
+            raise CommunicatorError(
+                f"Allreduce mismatch across ranks: {shapes}"
+            )
+        contributions = self._exchange("Allreduce:data", buffer.copy())
+        result = contributions[0]
+        for other in contributions[1:]:
+            apply_op(op, result, other, out=result)
+        buffer[...] = result
+        if self.stats is not None:
+            self.stats.allreduces += 1
+            self.stats.allreduce_bytes += int(buffer.nbytes)
+        self._charge_collective("allreduce", buffer.nbytes)
+
+    # -- virtual time ------------------------------------------------------
+    def charge_compute(self, seconds: float) -> None:
+        """Charge *seconds* of simulated compute to this rank's clock,
+        inflated by the cluster's contention factor when a model is set."""
+        if self.clock is None:
+            return
+        if self.cost_model is not None:
+            seconds = self.cost_model.compute(self._rank, self._size, seconds)
+        self.clock.charge(seconds)
+
+    @property
+    def simulated_time(self) -> float | None:
+        """Current virtual time of this rank (``None`` without a clock)."""
+        return self.clock.now if self.clock is not None else None
+
+    def _charge_collective(self, kind: str, nbytes: int) -> None:
+        """Synchronize clocks at a collective and charge its modelled cost.
+
+        Must be called by *all* ranks (it rendezvouses on the clock values).
+        """
+        if self.clock is None:
+            return
+        cost = 0.0
+        if self.cost_model is not None:
+            if kind == "allreduce":
+                cost = self.cost_model.allreduce(self._size, nbytes)
+            elif kind == "bcast":
+                cost = self.cost_model.bcast(self._size, nbytes)
+            else:
+                cost = self.cost_model.barrier(self._size)
+        nows = self._exchange("clock:sync", self.clock.now)
+        self.clock.advance_to(max(nows) + cost)
+
+    def _check_root(self, root: int) -> None:
+        if not 0 <= root < self._size:
+            raise CommunicatorError(f"root {root} outside [0, {self._size})")
+
+
+class SelfCommunicator(Communicator):
+    """The trivial single-rank communicator (``MPI_COMM_SELF``).
+
+    Lets every parallel code path run unchanged in a sequential process —
+    PRNA with a :class:`SelfCommunicator` *is* SRNA2 plus bookkeeping, a
+    fact the equivalence tests rely on.
+    """
+
+    def __init__(
+        self,
+        clock: VirtualClock | None = None,
+        cost_model: CostModel | None = None,
+    ):
+        super().__init__(0, 1, clock, cost_model)
+
+    def _send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        raise CommunicatorError("SelfCommunicator has no peers to send to")
+
+    def _recv(self, source: int, tag: int = 0) -> Any:
+        raise CommunicatorError("SelfCommunicator has no peers to receive from")
+
+    def _barrier(self) -> None:
+        return None
+
+    def _exchange(self, key: str, payload: Any) -> list[Any]:
+        return [payload]

@@ -1,0 +1,73 @@
+"""Reduction operations and message envelopes for the substrate."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ReduceOp", "apply_op", "Message"]
+
+
+class ReduceOp(enum.Enum):
+    """Reduction operators, mirroring the MPI predefined ops PRNA needs.
+
+    ``MAX`` is the one the paper uses: "calling MPI_Allreduce ... using the
+    MPI_MAX operation to ensure that all updated values end up in the
+    receive buffer" (Section V-B).
+    """
+
+    MAX = "max"
+    MIN = "min"
+    SUM = "sum"
+    PROD = "prod"
+
+    def identity(self, dtype: np.dtype) -> Any:
+        """Neutral element of the operator for the given dtype."""
+        if self is ReduceOp.MAX:
+            info = np.iinfo(dtype) if np.issubdtype(dtype, np.integer) else None
+            return info.min if info else -np.inf
+        if self is ReduceOp.MIN:
+            info = np.iinfo(dtype) if np.issubdtype(dtype, np.integer) else None
+            return info.max if info else np.inf
+        if self is ReduceOp.SUM:
+            return 0
+        return 1
+
+
+_ARRAY_OPS = {
+    ReduceOp.MAX: np.maximum,
+    ReduceOp.MIN: np.minimum,
+    ReduceOp.SUM: np.add,
+    ReduceOp.PROD: np.multiply,
+}
+
+_SCALAR_OPS = {
+    ReduceOp.MAX: max,
+    ReduceOp.MIN: min,
+    ReduceOp.SUM: lambda a, b: a + b,
+    ReduceOp.PROD: lambda a, b: a * b,
+}
+
+
+def apply_op(op: ReduceOp, a, b, out=None):
+    """``a (op) b`` for arrays (elementwise) or scalars.
+
+    Arrays may reduce in place via *out* (ignored for scalars).
+    """
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        ufunc = _ARRAY_OPS[op]
+        return ufunc(a, b, out=out) if out is not None else ufunc(a, b)
+    return _SCALAR_OPS[op](a, b)
+
+
+@dataclass
+class Message:
+    """A point-to-point message in flight."""
+
+    source: int
+    dest: int
+    tag: int
+    payload: Any

@@ -1,0 +1,29 @@
+"""The parallel algorithm (PRNA) and its simulation/baselines.
+
+* :mod:`repro.parallel.prna` — Algorithm 4 over any
+  :class:`~repro.mpi.communicator.Communicator`;
+* :mod:`repro.parallel.simulator` — closed-form trace-driven simulation of
+  PRNA on a modelled cluster (how Figure 8 is regenerated on one core);
+* :mod:`repro.parallel.lockfree` — the Stivala-et-al.-style randomized
+  top-down shared-memo baseline the paper contrasts in Section II.
+"""
+
+from repro.parallel.managerworker import (
+    ManagerWorkerResult,
+    manager_worker_rank,
+    simulate_manager_worker,
+)
+from repro.parallel.prna import PRNAResult, prna, prna_rank
+from repro.parallel.simulator import PRNASimulator, SimulationReport, simulate_speedup
+
+__all__ = [
+    "PRNAResult",
+    "prna",
+    "prna_rank",
+    "PRNASimulator",
+    "SimulationReport",
+    "simulate_speedup",
+    "ManagerWorkerResult",
+    "manager_worker_rank",
+    "simulate_manager_worker",
+]

@@ -1,0 +1,153 @@
+"""Randomized top-down shared-memo parallel baseline (Stivala et al. style).
+
+Section II discusses Stivala, Stuckey, Garcia de la Banda, Hermenegildo &
+Wirth, "Lock-free Parallel Dynamic Programming" (JPDC 2010): every worker
+runs the *top-down* recurrence from the same root against a shared
+memoization table, and parallelism comes from randomizing the order in which
+each worker explores the alternatives, sending threads down different
+branches of the decision structure.  The paper notes the approach "does not
+appear to scale well, because as the number of processors increases, so,
+too, does the likelihood of multiple processors following identical paths".
+
+This module implements that scheme over the MCOS recurrence — a shared
+dict keyed by subproblem, workers exploring dependencies in per-worker
+random order — so the redundancy ablation can quantify the overlap: the
+fraction of subproblem evaluations that were wasted because another worker
+computed the same entry.  (Being pure-Python and top-down it is also far
+slower than SRNA2 in absolute terms; the interesting measurement is the
+overlap, not wall time.)
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.structure.arcs import Structure
+
+__all__ = ["LockFreeStats", "lockfree_mcos"]
+
+
+@dataclass(frozen=True)
+class LockFreeStats:
+    """Outcome and redundancy accounting of a lock-free run."""
+
+    score: int
+    n_workers: int
+    distinct_subproblems: int
+    total_evaluations: int  # across workers, including duplicated work
+
+    @property
+    def redundancy(self) -> float:
+        """Evaluations per distinct subproblem (1.0 = no duplicated work)."""
+        if self.distinct_subproblems == 0:
+            return 1.0
+        return self.total_evaluations / self.distinct_subproblems
+
+
+def lockfree_mcos(
+    s1: Structure,
+    s2: Structure,
+    n_workers: int = 2,
+    *,
+    seed: int = 0,
+    max_subproblems: int = 2_000_000,
+) -> LockFreeStats:
+    """MCOS via randomized top-down workers over a shared memo table.
+
+    Every worker evaluates the full recurrence from the root; a subproblem
+    already present in the shared table is reused, otherwise the worker
+    computes it (possibly duplicating a concurrent computation — lock-free,
+    last-write-wins, which is safe because all writers store the same
+    value).
+    """
+    if n_workers < 1:
+        raise SimulationError(f"n_workers must be >= 1, got {n_workers}")
+    n, m = s1.length, s2.length
+    if n == 0 or m == 0 or s1.n_arcs == 0 or s2.n_arcs == 0:
+        return LockFreeStats(0, n_workers, 0, 0)
+
+    partner1 = s1.partner
+    partner2 = s2.partner
+    memo: dict[tuple[int, int, int, int], int] = {}
+    evaluations = [0] * n_workers
+    root = (0, n - 1, 0, m - 1)
+
+    def worker_main(worker: int) -> None:
+        rng = random.Random(seed * 1_000_003 + worker)
+        stack = [root]
+        while stack:
+            sub = stack[-1]
+            if sub in memo:
+                stack.pop()
+                continue
+            i1, j1, i2, j2 = sub
+            if j1 < i1 or j2 < i2:
+                memo[sub] = 0
+                stack.pop()
+                continue
+            deps = [(i1, j1 - 1, i2, j2), (i1, j1, i2, j2 - 1)]
+            k1 = int(partner1[j1])
+            k2 = int(partner2[j2])
+            matched = (
+                k1 != -1 and k2 != -1 and i1 <= k1 < j1 and i2 <= k2 < j2
+            )
+            if matched:
+                deps.append((i1, k1 - 1, i2, k2 - 1))
+                deps.append((k1 + 1, j1 - 1, k2 + 1, j2 - 1))
+            missing = [
+                d
+                for d in deps
+                if not (d[1] < d[0] or d[3] < d[2]) and d not in memo
+            ]
+            if missing:
+                # The randomized exploration order is the scheme's entire
+                # source of parallelism: different workers descend into
+                # different dependencies first.
+                rng.shuffle(missing)
+                stack.extend(missing)
+                continue
+
+            def val(d: tuple[int, int, int, int]) -> int:
+                if d[1] < d[0] or d[3] < d[2]:
+                    return 0
+                return memo[d]
+
+            best = max(val(deps[0]), val(deps[1]))
+            if matched:
+                best = max(best, 1 + val(deps[2]) + val(deps[3]))
+            evaluations[worker] += 1
+            memo[sub] = best
+            stack.pop()
+            if len(memo) > max_subproblems:
+                raise MemoryError(
+                    f"lock-free memo exceeded {max_subproblems} entries"
+                )
+
+    failures: list[BaseException] = []
+
+    def guarded(worker: int) -> None:
+        try:
+            worker_main(worker)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=guarded, args=(w,), name=f"lockfree-{w}")
+        for w in range(n_workers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if failures:
+        raise failures[0]
+
+    return LockFreeStats(
+        score=memo[root],
+        n_workers=n_workers,
+        distinct_subproblems=len(memo),
+        total_evaluations=sum(evaluations),
+    )

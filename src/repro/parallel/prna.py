@@ -1,0 +1,315 @@
+"""PRNA — the paper's parallel algorithm (Algorithm 4).
+
+Structure (Section V):
+
+* **preprocessing** — compute per-column work estimates and fix a static
+  column partition (Graham's greedy algorithm by default); every rank
+  derives the identical partition deterministically, so no communication is
+  needed;
+* **stage one (parallel)** — for each arc ``(i1, j1)`` of ``S1`` by
+  increasing ``j1``, every rank tabulates the child slices of its *owned*
+  columns, then the completed memo row ``i1 + 1`` is synchronized with an
+  ``Allreduce(MAX)`` ("MPI_Allreduce with the beginning address of the row
+  and number of columns, using the MPI_MAX operation");
+* **stage two (sequential)** — rank 0 tabulates the parent slice from the
+  fully synchronized table and broadcasts the score.
+
+Correctness rests on the same ordering argument as SRNA2: a slice spawned
+under arc ``(i1, j1)`` only reads memo rows of arcs with smaller right
+endpoints, which were synchronized in earlier outer iterations — shared
+endpoints being forbidden, no slice ever reads its *own* row.
+
+The function is written in SPMD style against the abstract communicator, so
+the identical code runs on the thread backend, the process backend, and the
+trivial :class:`~repro.mpi.communicator.SelfCommunicator` (where it reduces
+to SRNA2 plus bookkeeping — an equivalence the tests assert).  Virtual-time
+charging is pluggable: ``charge="measured"`` samples per-thread CPU time
+around the compute, ``charge="analytic"`` uses the calibrated work model,
+``charge=None`` skips charging.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrument import Instrumentation
+from repro.core.memo import DenseMemoTable
+from repro.core.slices import ENGINES
+from repro.errors import CommunicatorError, SimulationError
+from repro.mpi.communicator import Communicator, ReduceOp, SelfCommunicator
+from repro.mpi.inprocess import run_threaded
+from repro.mpi.process import run_multiprocess
+from repro.perf.model import WorkModel
+from repro.scheduling.partition import PARTITIONERS, Partition
+from repro.scheduling.workload import column_weights
+from repro.structure.arcs import Structure
+
+__all__ = ["PRNAResult", "prna_rank", "prna", "SYNC_MODES"]
+
+SYNC_MODES = ("row", "pair", "deferred")
+
+
+@dataclass
+class PRNAResult:
+    """Per-rank outcome of a PRNA run."""
+
+    score: int
+    rank: int
+    size: int
+    partition: Partition
+    memo: DenseMemoTable
+    simulated_time: float | None = None
+    instrumentation: Instrumentation | None = None
+
+    def __int__(self) -> int:
+        return self.score
+
+
+def prna_rank(
+    comm: Communicator,
+    s1: Structure,
+    s2: Structure,
+    *,
+    partitioner: str = "greedy",
+    engine: str = "vectorized",
+    sync_mode: str = "row",
+    charge: str | None = None,
+    work_model: WorkModel | None = None,
+    validate: bool = False,
+    instrumentation: Instrumentation | None = None,
+) -> PRNAResult:
+    """Run one rank's share of PRNA (call from SPMD context).
+
+    Parameters
+    ----------
+    sync_mode:
+        ``"row"`` is the paper's algorithm.  ``"pair"`` synchronizes after
+        every slice (correct but chatty — the granularity ablation).
+        ``"deferred"`` skips intra-stage synchronization entirely; it is
+        **incorrect** for multi-rank worlds and exists so the failure tests
+        can demonstrate both the wrong answers and their detection via
+        ``validate=True``.
+    charge:
+        ``None``, ``"measured"`` (per-thread CPU time) or ``"analytic"``
+        (work model seconds) — feeds the communicator's virtual clock.
+    validate:
+        After stage one, allgather a digest of the memo table and raise
+        :class:`CommunicatorError` if ranks disagree (catches broken
+        synchronization schemes).
+    """
+    if sync_mode not in SYNC_MODES:
+        raise ValueError(f"unknown sync_mode {sync_mode!r}; one of {SYNC_MODES}")
+    if charge not in (None, "measured", "analytic"):
+        raise ValueError(f"unknown charge policy {charge!r}")
+    if charge == "analytic" and work_model is None:
+        work_model = WorkModel.default()
+    try:
+        tabulate = ENGINES[engine]
+    except KeyError:
+        raise ValueError(
+            f"unknown slice engine {engine!r}; available: {sorted(ENGINES)}"
+        ) from None
+
+    inst = instrumentation
+    n, m = s1.length, s2.length
+
+    def measure_start() -> float:
+        return time.thread_time() if charge == "measured" else 0.0
+
+    def measure_stop(mark: float, analytic_seconds: float) -> None:
+        if charge == "measured":
+            comm.charge_compute(time.thread_time() - mark)
+        elif charge == "analytic":
+            comm.charge_compute(analytic_seconds)
+
+    # ------------------------------------------------------------------
+    # Preprocessing: identical deterministic partition on every rank.
+    # ------------------------------------------------------------------
+    mark = measure_start()
+    try:
+        build = PARTITIONERS[partitioner]
+    except KeyError:
+        raise ValueError(
+            f"unknown partitioner {partitioner!r}; "
+            f"available: {sorted(PARTITIONERS)}"
+        ) from None
+    weights = column_weights(s1, s2)
+    partition = build(weights, comm.size)
+    owned = partition.tasks_of(comm.rank)
+    memo = DenseMemoTable(n, m)
+    values = memo.values
+    inner1 = s1.inner_ranges
+    inner2 = s2.inner_ranges
+    lefts1 = s1.lefts.tolist()
+    rights1 = s1.rights.tolist()
+    lefts2 = s2.lefts.tolist()
+    rights2 = s2.rights.tolist()
+    inside1 = s1.inside_count
+    inside2 = s2.inside_count
+    measure_stop(mark, work_model.preprocessing_seconds(s1, s2) if work_model else 0.0)
+
+    # ------------------------------------------------------------------
+    # Stage one: owned child slices, one Allreduce per completed row.
+    # ------------------------------------------------------------------
+    stage_ctx = inst.stage("stage_one") if inst is not None else None
+    if stage_ctx is not None:
+        stage_ctx.__enter__()
+    try:
+        owned_set = set(owned)
+        for a in range(s1.n_arcs):
+            i1, j1 = lefts1[a], rights1[a]
+            r1 = (int(inner1[a, 0]), int(inner1[a, 1]))
+            row = values[i1 + 1]
+            if sync_mode == "pair":
+                # Chatty ablation: a collective per arc *pair*, so every
+                # rank walks every column and synchronizes each time.
+                for b in range(s2.n_arcs):
+                    if b in owned_set:
+                        mark = measure_start()
+                        i2, j2 = lefts2[b], rights2[b]
+                        row[i2 + 1] = tabulate(
+                            values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                            ranges=(
+                                r1, (int(inner2[b, 0]), int(inner2[b, 1]))
+                            ),
+                            instrumentation=inst,
+                        )
+                        measure_stop(
+                            mark,
+                            work_model.pair_seconds(
+                                int(inside1[a]), int(inside2[b])
+                            )
+                            if work_model is not None
+                            else 0.0,
+                        )
+                    comm.Allreduce(row, ReduceOp.MAX)
+                continue
+            mark = measure_start()
+            for b in owned:
+                i2, j2 = lefts2[b], rights2[b]
+                row[i2 + 1] = tabulate(
+                    values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                    ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
+                    instrumentation=inst,
+                )
+            analytic = (
+                work_model.row_seconds(int(inside1[a]), inside2, owned)
+                if work_model is not None
+                else 0.0
+            )
+            measure_stop(mark, analytic)
+            if sync_mode == "row":
+                comm.Allreduce(row, ReduceOp.MAX)
+    finally:
+        if stage_ctx is not None:
+            stage_ctx.__exit__(None, None, None)
+
+    if validate:
+        digest = int(values.sum()) ^ hash(values.tobytes())
+        digests = comm.allgather(digest)
+        if any(d != digests[0] for d in digests):
+            raise CommunicatorError(
+                "memoization tables diverged across ranks after stage one — "
+                f"synchronization scheme {sync_mode!r} is unsound"
+            )
+
+    # ------------------------------------------------------------------
+    # Stage two: sequential on rank 0, score broadcast to all.
+    # ------------------------------------------------------------------
+    stage_ctx = inst.stage("stage_two") if inst is not None else None
+    if stage_ctx is not None:
+        stage_ctx.__enter__()
+    try:
+        if comm.rank == 0:
+            mark = measure_start()
+            score = int(
+                tabulate(
+                    values, s1, s2, 0, n - 1, 0, m - 1,
+                    ranges=((0, s1.n_arcs), (0, s2.n_arcs)),
+                    instrumentation=inst,
+                )
+            )
+            measure_stop(
+                mark,
+                work_model.parent_slice_seconds(s1, s2) if work_model else 0.0,
+            )
+        else:
+            score = -1
+        score = comm.bcast(score, root=0)
+        memo.store(0, 0, score)
+    finally:
+        if stage_ctx is not None:
+            stage_ctx.__exit__(None, None, None)
+
+    return PRNAResult(
+        score=score,
+        rank=comm.rank,
+        size=comm.size,
+        partition=partition,
+        memo=memo,
+        simulated_time=comm.simulated_time,
+        instrumentation=inst,
+    )
+
+
+def prna(
+    s1: Structure,
+    s2: Structure,
+    n_ranks: int = 1,
+    *,
+    backend: str = "thread",
+    partitioner: str = "greedy",
+    engine: str = "vectorized",
+    sync_mode: str = "row",
+    charge: str | None = None,
+    work_model: WorkModel | None = None,
+    cost_model=None,
+    validate: bool = False,
+) -> PRNAResult:
+    """Convenience driver: run PRNA on *n_ranks* and return rank 0's result.
+
+    ``backend`` is ``"thread"``, ``"process"`` or ``"self"`` (the latter
+    requires ``n_ranks == 1``).  When *cost_model* is given, virtual clocks
+    are enabled and the returned result carries the simulated time.
+    """
+    if n_ranks < 1:
+        raise SimulationError(f"n_ranks must be >= 1, got {n_ranks}")
+
+    def rank_main(comm: Communicator) -> PRNAResult:
+        return prna_rank(
+            comm, s1, s2,
+            partitioner=partitioner, engine=engine, sync_mode=sync_mode,
+            charge=charge, work_model=work_model, validate=validate,
+        )
+
+    if backend == "self":
+        if n_ranks != 1:
+            raise SimulationError("backend 'self' supports exactly one rank")
+        clock = None
+        if cost_model is not None:
+            from repro.mpi.virtualtime import VirtualClock
+
+            clock = VirtualClock()
+        return rank_main(SelfCommunicator(clock, cost_model))
+    if backend == "thread":
+        results = run_threaded(
+            rank_main, n_ranks,
+            cost_model=cost_model, with_clocks=cost_model is not None,
+        )
+    elif backend == "process":
+        results = run_multiprocess(
+            rank_main, n_ranks,
+            cost_model=cost_model, with_clocks=cost_model is not None,
+        )
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; one of 'thread', 'process', 'self'"
+        )
+    if cost_model is not None:
+        result, simulated = results[0]
+        result.simulated_time = simulated
+        return result
+    return results[0]

@@ -1,0 +1,13 @@
+"""Performance modelling, calibration and timing utilities."""
+
+from repro.perf.model import WorkModel, PAPER_SECONDS_PER_CELL
+from repro.perf.calibrate import calibrate_work_model
+from repro.perf.timing import time_call, TimingResult
+
+__all__ = [
+    "WorkModel",
+    "PAPER_SECONDS_PER_CELL",
+    "calibrate_work_model",
+    "time_call",
+    "TimingResult",
+]

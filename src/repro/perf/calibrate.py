@@ -1,0 +1,67 @@
+"""Machine calibration of the work model.
+
+Fits ``seconds_per_cell`` and ``seconds_per_slice`` for *this* host by
+timing SRNA2 on two contrived worst-case instances of different sizes and
+solving the 2x2 linear system
+
+    T_i = spc * cells_i + sps * slices_i        (i = 1, 2)
+
+The worst case is used because its cell counts are exactly known
+(``(sum inside)^2``) and stage one dominates (> 99 %, Table III), so the
+fit is clean.  Used by examples and the simulator when host-relative
+(rather than paper-relative) speedups are wanted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.srna2 import srna2
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+__all__ = ["calibrate_work_model"]
+
+
+def _measure(length: int, repeat: int) -> float:
+    structure = contrived_worst_case(length)
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        srna2(structure, structure)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def calibrate_work_model(
+    small: int = 100, large: int = 200, repeat: int = 2
+) -> WorkModel:
+    """Fit a :class:`WorkModel` from two timed worst-case self-comparisons.
+
+    *small*/*large* are sequence lengths (arcs are half that).  Falls back
+    to a cells-only fit if the system is ill-conditioned (which cannot
+    happen for distinct sizes, but guards pathological timer noise).
+    """
+    if not 0 < small < large:
+        raise ValueError(f"need 0 < small < large, got {small}, {large}")
+
+    def counts(length: int) -> tuple[float, float]:
+        arcs = length // 2
+        inside_sum = float(arcs * (arcs - 1) // 2)
+        return inside_sum * inside_sum, float(arcs * arcs)
+
+    cells = np.array([counts(small)[0], counts(large)[0]])
+    slices = np.array([counts(small)[1], counts(large)[1]])
+    times = np.array([_measure(small, repeat), _measure(large, repeat)])
+
+    matrix = np.column_stack([cells, slices])
+    try:
+        spc, sps = np.linalg.solve(matrix, times)
+    except np.linalg.LinAlgError:  # pragma: no cover - degenerate sizes
+        spc, sps = float(times[-1] / cells[-1]), 0.0
+    # Timer noise can push the tiny per-slice residual negative; clamp.
+    spc = max(float(spc), 1e-12)
+    sps = max(float(sps), 0.0)
+    return WorkModel(seconds_per_cell=spc, seconds_per_slice=sps)

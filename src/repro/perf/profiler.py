@@ -1,0 +1,108 @@
+"""Profiling helpers — "no optimization without measuring".
+
+Thin, scriptable wrapper over :mod:`cProfile`/:mod:`pstats` for the
+library's hot paths, so performance investigations (like the one that led
+to the vectorized slice engine) are one call::
+
+    from repro.perf.profiler import profile_srna2
+    report = profile_srna2(contrived_worst_case(200))
+    print(report.render())
+
+The report keeps structured rows (function, calls, cumulative seconds) so
+tests and tooling can assert on hotspots instead of parsing text.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.structure.arcs import Structure
+
+__all__ = ["Hotspot", "ProfileReport", "profile_call", "profile_srna2"]
+
+
+@dataclass(frozen=True)
+class Hotspot:
+    """One profiled function."""
+
+    function: str  # "module:lineno(name)"
+    calls: int
+    total_seconds: float  # own time
+    cumulative_seconds: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Structured result of a profiled call."""
+
+    hotspots: tuple[Hotspot, ...]
+    value: Any  # the profiled call's return value
+
+    def top(self, count: int = 10) -> tuple[Hotspot, ...]:
+        """The *count* most expensive functions (by cumulative time)."""
+        return self.hotspots[:count]
+
+    def find(self, needle: str) -> Hotspot | None:
+        """First hotspot whose identifier contains *needle*."""
+        for hotspot in self.hotspots:
+            if needle in hotspot.function:
+                return hotspot
+        return None
+
+    def render(self, count: int = 10) -> str:
+        """Fixed-width text table of the top hotspots."""
+        lines = [
+            f"{'cumulative':>11} {'own':>9} {'calls':>9}  function",
+        ]
+        for hotspot in self.top(count):
+            lines.append(
+                f"{hotspot.cumulative_seconds:10.4f}s "
+                f"{hotspot.total_seconds:8.4f}s "
+                f"{hotspot.calls:9d}  {hotspot.function}"
+            )
+        return "\n".join(lines)
+
+
+def profile_call(fn: Callable[[], Any], *, limit: int = 50) -> ProfileReport:
+    """Profile ``fn()``; hotspots sorted by cumulative time, descending."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        value = fn()
+    finally:
+        profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.sort_stats(pstats.SortKey.CUMULATIVE)
+    hotspots = []
+    for func, (primitive, calls, total, cumulative, _callers) in sorted(
+        stats.stats.items(), key=lambda item: -item[1][3]
+    ):
+        filename, lineno, name = func
+        short = filename.rsplit("/", 1)[-1]
+        hotspots.append(
+            Hotspot(
+                function=f"{short}:{lineno}({name})",
+                calls=calls,
+                total_seconds=total,
+                cumulative_seconds=cumulative,
+            )
+        )
+        del primitive
+        if len(hotspots) >= limit:
+            break
+    return ProfileReport(hotspots=tuple(hotspots), value=value)
+
+
+def profile_srna2(
+    s1: Structure, s2: Structure | None = None, *, limit: int = 50
+) -> ProfileReport:
+    """Profile one SRNA2 run (self-comparison when *s2* is omitted)."""
+    from repro.core.srna2 import srna2
+
+    other = s1 if s2 is None else s2
+    return profile_call(lambda: srna2(s1, other), limit=limit)

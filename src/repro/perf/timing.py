@@ -1,0 +1,63 @@
+"""Lightweight wall-clock timing for the experiment harness.
+
+The benchmarks under ``benchmarks/`` use ``pytest-benchmark``; the
+experiment scripts (``python -m repro.experiments ...``) use these helpers
+instead so they can run standalone and print paper-style tables.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["TimingResult", "time_call"]
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock samples of repeated calls to one function."""
+
+    samples: tuple[float, ...]
+    value: Any  # return value of the last call
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        return statistics.stdev(self.samples)
+
+
+def time_call(
+    fn: Callable[[], Any],
+    *,
+    repeat: int = 3,
+    min_time: float = 0.0,
+) -> TimingResult:
+    """Time ``fn()`` *repeat* times (at least once; more until *min_time*).
+
+    Returns every sample plus the final return value, so experiments can
+    both report timings and validate results.
+    """
+    if repeat < 1:
+        raise ValueError(f"repeat must be >= 1, got {repeat}")
+    samples: list[float] = []
+    value: Any = None
+    while True:
+        start = time.perf_counter()
+        value = fn()
+        samples.append(time.perf_counter() - start)
+        if len(samples) >= repeat and sum(samples) >= min_time:
+            break
+        if len(samples) >= repeat * 10:
+            break
+    return TimingResult(tuple(samples), value)

@@ -1,0 +1,32 @@
+"""Static load balancing for PRNA's stage one.
+
+The paper distributes "the columns of the parent slice that correspond with
+matched arcs" using "a greedy approximation algorithm [Graham 1969]"
+(Section V-A).  This subpackage provides that algorithm
+(:mod:`repro.scheduling.graham`), alternative partitioners for the ablation
+(:mod:`repro.scheduling.partition`), and the per-column work estimates they
+consume (:mod:`repro.scheduling.workload`).
+"""
+
+from repro.scheduling.graham import graham_schedule, lpt_schedule, makespan
+from repro.scheduling.partition import (
+    Partition,
+    block_partition,
+    cyclic_partition,
+    greedy_partition,
+    PARTITIONERS,
+)
+from repro.scheduling.workload import column_weights, stage_one_work
+
+__all__ = [
+    "graham_schedule",
+    "lpt_schedule",
+    "makespan",
+    "Partition",
+    "block_partition",
+    "cyclic_partition",
+    "greedy_partition",
+    "PARTITIONERS",
+    "column_weights",
+    "stage_one_work",
+]

@@ -1,0 +1,49 @@
+"""RNA secondary structure substrate.
+
+This subpackage provides the input model for the whole library: arc-annotated
+sequences (:mod:`repro.structure.arcs`), their ordered-forest view
+(:mod:`repro.structure.forest`), text formats
+(:mod:`repro.structure.dotbracket`, :mod:`repro.structure.io`), workload
+generators (:mod:`repro.structure.generators`), the synthetic stand-ins for
+the paper's 23S rRNA datasets (:mod:`repro.structure.datasets`) and summary
+statistics (:mod:`repro.structure.stats`).
+"""
+
+from repro.structure.align import Alignment, align_from_matching
+from repro.structure.arcs import Arc, Structure
+from repro.structure.dotbracket import from_dotbracket, to_dotbracket
+from repro.structure.draw import draw_arcs, draw_matching
+from repro.structure.forest import Forest, TreeNode
+from repro.structure.stockholm import (
+    StockholmAlignment,
+    read_stockholm,
+    wuss_to_structure,
+)
+from repro.structure.generators import (
+    contrived_worst_case,
+    random_structure,
+    rna_like_structure,
+    sequential_arcs,
+    comb_structure,
+)
+
+__all__ = [
+    "Arc",
+    "Structure",
+    "Forest",
+    "TreeNode",
+    "Alignment",
+    "align_from_matching",
+    "StockholmAlignment",
+    "read_stockholm",
+    "wuss_to_structure",
+    "draw_arcs",
+    "draw_matching",
+    "from_dotbracket",
+    "to_dotbracket",
+    "contrived_worst_case",
+    "random_structure",
+    "rna_like_structure",
+    "sequential_arcs",
+    "comb_structure",
+]

@@ -1,0 +1,126 @@
+"""Alignment rendering: from a matching back to aligned sequences.
+
+Bafna et al.'s original recurrence (the paper's basis, ref. [1]) computed
+*alignments* of RNA strings guided by their common structure.  The MCOS
+certificate contains exactly the anchoring information such an alignment
+needs: the endpoints of matched arcs must line up.  This module builds a
+canonical gapped alignment from a certificate — matched endpoints share
+columns, the stretches between consecutive anchors are left-justified and
+gap-padded — which is how comparison results are usually *shown* to a
+biologist.
+
+Soundness of the construction: because a valid matching preserves order
+and nesting (``verify_matching``), the anchor pairs sorted by their
+position in ``S1`` are automatically sorted by their position in ``S2`` —
+a monotone chain — so the column assignment never conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import BacktraceError
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import to_dotbracket
+
+if TYPE_CHECKING:  # avoid a structure -> core import cycle at runtime
+    from repro.core.backtrace import MatchedPair
+
+__all__ = ["Alignment", "align_from_matching"]
+
+GAP = "-"
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A gapped pairwise alignment anchored at matched arc endpoints."""
+
+    row1: str  # gapped S1 (dot-bracket or sequence characters)
+    row2: str  # gapped S2
+    markers: str  # '|' at matched-arc anchor columns, ' ' elsewhere
+    n_anchors: int
+
+    @property
+    def columns(self) -> int:
+        return len(self.row1)
+
+    def degapped(self) -> tuple[str, str]:
+        """The two rows with gaps removed (must equal the inputs)."""
+        return self.row1.replace(GAP, ""), self.row2.replace(GAP, "")
+
+    def render(self, width: int = 72) -> str:
+        """Wrap the three alignment lines into blocks of *width* columns."""
+        blocks = []
+        for start in range(0, self.columns, width):
+            stop = start + width
+            blocks.append(
+                "\n".join(
+                    (
+                        self.row1[start:stop],
+                        self.markers[start:stop],
+                        self.row2[start:stop],
+                    )
+                )
+            )
+        return "\n\n".join(blocks)
+
+
+def align_from_matching(
+    s1: Structure,
+    s2: Structure,
+    pairs: "Iterable[MatchedPair]",
+) -> Alignment:
+    """Build the canonical anchored alignment for a matching.
+
+    The rows show each structure's sequence if present, else its
+    dot-bracket rendering.  Raises :class:`BacktraceError` if the anchor
+    chain is not monotone (i.e. *pairs* is not a valid matching).
+    """
+    text1 = s1.sequence or to_dotbracket(s1)
+    text2 = s2.sequence or to_dotbracket(s2)
+
+    anchors = sorted(
+        {
+            endpoint
+            for pair in pairs
+            for endpoint in (
+                (pair.arc1.left, pair.arc2.left),
+                (pair.arc1.right, pair.arc2.right),
+            )
+        }
+    )
+    previous2 = -1
+    for _, p2 in anchors:
+        if p2 <= previous2:
+            raise BacktraceError(
+                "anchor chain is not monotone — the matching violates "
+                "order or nesting"
+            )
+        previous2 = p2
+
+    row1: list[str] = []
+    row2: list[str] = []
+    markers: list[str] = []
+
+    def emit_segment(seg1: str, seg2: str) -> None:
+        width = max(len(seg1), len(seg2))
+        row1.append(seg1.ljust(width, GAP))
+        row2.append(seg2.ljust(width, GAP))
+        markers.append(" " * width)
+
+    cursor1 = cursor2 = 0
+    for p1, p2 in anchors:
+        emit_segment(text1[cursor1:p1], text2[cursor2:p2])
+        row1.append(text1[p1])
+        row2.append(text2[p2])
+        markers.append("|")
+        cursor1, cursor2 = p1 + 1, p2 + 1
+    emit_segment(text1[cursor1:], text2[cursor2:])
+
+    return Alignment(
+        row1="".join(row1),
+        row2="".join(row2),
+        markers="".join(markers),
+        n_anchors=len(anchors),
+    )

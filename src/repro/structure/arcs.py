@@ -1,0 +1,370 @@
+"""Arc-annotated RNA secondary structures.
+
+The paper's input model (Section III-A): a structure over a sequence of ``n``
+positions is a set of *arcs* ``(l, r)`` with ``0 <= l < r < n`` linking bonded
+bases.  The restricted (non-pseudoknot) model additionally requires that
+
+* no two arcs share an endpoint (each base is linked at most once), and
+* no two arcs cross — any two arcs are either *sequential* (disjoint
+  intervals) or *nested* (one strictly inside the other).
+
+:class:`Structure` is the validated, immutable representation used by every
+algorithm in this library.  It precomputes the arrays the dynamic programs
+index in their inner loops:
+
+``partner``
+    ``partner[p]`` is the position bonded to ``p`` or ``-1``;
+``rights`` / ``lefts``
+    arc endpoints sorted by increasing right endpoint, which is exactly the
+    traversal order of SRNA1/SRNA2 ("by increasing order of x");
+``inside_count``
+    for each arc, the number of arcs strictly nested inside it — the work
+    estimate used by the paper's static load balancer (Figure 7).
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.errors import PseudoknotError, SharedEndpointError, StructureError
+
+__all__ = ["Arc", "Structure"]
+
+
+class Arc(NamedTuple):
+    """A bond between two sequence positions, ``left < right``."""
+
+    left: int
+    right: int
+
+    def span(self) -> int:
+        """Number of positions strictly between the endpoints."""
+        return self.right - self.left - 1
+
+    def contains(self, other: "Arc") -> bool:
+        """True if *other* is strictly nested inside this arc."""
+        return self.left < other.left and other.right < self.right
+
+    def crosses(self, other: "Arc") -> bool:
+        """True if the two arcs cross (form a pseudoknot)."""
+        a, b = (self, other) if self.left < other.left else (other, self)
+        return a.left < b.left < a.right < b.right
+
+
+def _normalize_arcs(arcs: Iterable[Sequence[int]]) -> list[Arc]:
+    out = []
+    for raw in arcs:
+        try:
+            left, right = raw
+        except (TypeError, ValueError) as exc:
+            raise StructureError(f"arc {raw!r} is not a pair of positions") from exc
+        left, right = int(left), int(right)
+        if left == right:
+            raise StructureError(f"arc ({left}, {right}) links a position to itself")
+        if left > right:
+            left, right = right, left
+        out.append(Arc(left, right))
+    return out
+
+
+class Structure:
+    """A validated non-pseudoknot RNA secondary structure.
+
+    Parameters
+    ----------
+    length:
+        Number of sequence positions ``n``; positions are ``0 .. n-1``.
+    arcs:
+        Iterable of ``(left, right)`` pairs.  Order does not matter and pairs
+        may be given in either orientation.
+    sequence:
+        Optional base string of length ``n`` (e.g. ``"ACGU..."``).  The
+        comparison algorithms ignore it — the MCOS problem is purely
+        structural — but it is preserved for I/O round-trips.
+
+    Raises
+    ------
+    StructureError
+        If an arc leaves ``[0, n)`` or is degenerate.
+    SharedEndpointError
+        If two arcs share an endpoint.
+    PseudoknotError
+        If two arcs cross.
+    """
+
+    __slots__ = (
+        "_length",
+        "_arcs",
+        "_sequence",
+        "_partner",
+        "_lefts",
+        "_rights",
+        "__dict__",
+    )
+
+    def __init__(
+        self,
+        length: int,
+        arcs: Iterable[Sequence[int]] = (),
+        sequence: str | None = None,
+    ):
+        length = int(length)
+        if length < 0:
+            raise StructureError(f"length must be non-negative, got {length}")
+        if sequence is not None and len(sequence) != length:
+            raise StructureError(
+                f"sequence length {len(sequence)} does not match declared "
+                f"structure length {length}"
+            )
+        normalized = _normalize_arcs(arcs)
+        normalized.sort(key=lambda a: a.right)
+
+        partner = np.full(length, -1, dtype=np.int64)
+        for arc in normalized:
+            if arc.right >= length or arc.left < 0:
+                raise StructureError(
+                    f"arc {tuple(arc)} lies outside the sequence [0, {length})"
+                )
+            for endpoint in arc:
+                if partner[endpoint] != -1:
+                    other = Arc(
+                        min(endpoint, int(partner[endpoint])),
+                        max(endpoint, int(partner[endpoint])),
+                    )
+                    raise SharedEndpointError(endpoint, tuple(other), tuple(arc))
+            partner[arc.left] = arc.right
+            partner[arc.right] = arc.left
+
+        # Crossing check via a stack sweep: O(n + |arcs|).  At each right
+        # endpoint the matching left endpoint must be the innermost open arc.
+        open_stack: list[int] = []
+        for pos in range(length):
+            mate = int(partner[pos])
+            if mate > pos:
+                open_stack.append(pos)
+            elif mate != -1:
+                if not open_stack or open_stack[-1] != mate:
+                    # Find the arc we crossed for a helpful message.
+                    inner = open_stack[-1] if open_stack else -1
+                    raise PseudoknotError(
+                        (mate, pos), (inner, int(partner[inner]))
+                    )
+                open_stack.pop()
+
+        self._length = length
+        self._arcs: tuple[Arc, ...] = tuple(normalized)
+        self._sequence = sequence
+        self._partner = partner
+        self._partner.setflags(write=False)
+        self._lefts = np.fromiter(
+            (a.left for a in normalized), dtype=np.int64, count=len(normalized)
+        )
+        self._rights = np.fromiter(
+            (a.right for a in normalized), dtype=np.int64, count=len(normalized)
+        )
+        self._lefts.setflags(write=False)
+        self._rights.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of sequence positions ``n``."""
+        return self._length
+
+    @property
+    def sequence(self) -> str | None:
+        """The base string, if one was supplied."""
+        return self._sequence
+
+    @property
+    def arcs(self) -> tuple[Arc, ...]:
+        """All arcs, sorted by increasing right endpoint."""
+        return self._arcs
+
+    @property
+    def n_arcs(self) -> int:
+        return len(self._arcs)
+
+    @property
+    def partner(self) -> np.ndarray:
+        """Read-only array: ``partner[p]`` is ``p``'s bonded mate or ``-1``."""
+        return self._partner
+
+    @property
+    def lefts(self) -> np.ndarray:
+        """Left endpoints, ordered by increasing right endpoint."""
+        return self._lefts
+
+    @property
+    def rights(self) -> np.ndarray:
+        """Right endpoints in increasing order."""
+        return self._rights
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Structure):
+            return NotImplemented
+        return self._length == other._length and self._arcs == other._arcs
+
+    def __hash__(self) -> int:
+        return hash((self._length, self._arcs))
+
+    def __repr__(self) -> str:
+        return f"Structure(length={self._length}, n_arcs={self.n_arcs})"
+
+    # ------------------------------------------------------------------
+    # Queries used by the dynamic programs
+    # ------------------------------------------------------------------
+    def partner_of(self, position: int) -> int:
+        """Bonded mate of *position*, or ``-1`` if unpaired."""
+        if not 0 <= position < self._length:
+            raise IndexError(f"position {position} outside [0, {self._length})")
+        return int(self._partner[position])
+
+    def arc_indices_in(self, i: int, j: int) -> np.ndarray:
+        """Indices (into :attr:`arcs`) of arcs with ``i <= left < right <= j``.
+
+        Returned in increasing order of right endpoint — the tabulation order
+        of the paper's algorithms.  An empty interval (``j < i``) yields an
+        empty array.
+        """
+        if j < i:
+            return np.empty(0, dtype=np.int64)
+        lo = int(np.searchsorted(self._rights, i, side="left"))
+        hi = int(np.searchsorted(self._rights, j, side="right"))
+        idx = np.arange(lo, hi, dtype=np.int64)
+        if idx.size:
+            idx = idx[self._lefts[lo:hi] >= i]
+        return idx
+
+    def arcs_in(self, i: int, j: int) -> list[Arc]:
+        """Arcs fully inside ``[i, j]`` in increasing right-endpoint order."""
+        return [self._arcs[k] for k in self.arc_indices_in(i, j)]
+
+    def arc_index_ending_at(self, j: int) -> int:
+        """Index of the arc whose right endpoint is ``j``, or ``-1``."""
+        mate = int(self._partner[j]) if 0 <= j < self._length else -1
+        if mate == -1 or mate > j:
+            return -1
+        pos = int(np.searchsorted(self._rights, j, side="left"))
+        return pos
+
+    @cached_property
+    def inside_count(self) -> np.ndarray:
+        """``inside_count[k]``: arcs strictly nested inside arc ``k``.
+
+        This is the per-slice work estimate of the paper's load balancer:
+        tabulating the child slice spawned under arc pair ``(a, b)`` touches
+        ``inside_count[a] * inside_count[b]`` subproblems (Figure 7).
+        """
+        counts = np.zeros(self.n_arcs, dtype=np.int64)
+        arc_at_left = {a.left: k for k, a in enumerate(self._arcs)}
+        # Stack entries: [arc_index, arcs_seen_inside_so_far].  When an arc
+        # closes, it contributes (its own inside count + itself) to the arc
+        # enclosing it, giving an O(n + |arcs|) sweep.
+        stack: list[list[int]] = [[-1, 0]]
+        for pos in range(self._length):
+            mate = int(self._partner[pos])
+            if mate > pos:
+                stack.append([arc_at_left[pos], 0])
+            elif mate != -1:
+                idx, inner = stack.pop()
+                counts[idx] = inner
+                stack[-1][1] += inner + 1
+        counts.setflags(write=False)
+        return counts
+
+    @cached_property
+    def inner_ranges(self) -> np.ndarray:
+        """``(n_arcs, 2)`` array: arcs nested inside arc ``k`` occupy the
+        contiguous index range ``[inner_ranges[k, 0], inner_ranges[k, 1])``.
+
+        Contiguity holds because arcs are sorted by right endpoint and the
+        model forbids crossings: every arc whose right endpoint lies strictly
+        inside arc ``k`` is either nested in ``k`` or would cross it.  The
+        slice engines use these ranges to avoid per-slice interval searches.
+        """
+        ranges = np.empty((self.n_arcs, 2), dtype=np.int64)
+        if self.n_arcs:
+            # Arcs inside (l, r) are exactly those with l < right < r, i.e.
+            # right-sorted indices in [searchsorted(rights, l), k).
+            ranges[:, 0] = np.searchsorted(self._rights, self._lefts, side="left")
+            ranges[:, 1] = np.arange(self.n_arcs)
+        ranges.setflags(write=False)
+        return ranges
+
+    @cached_property
+    def depth(self) -> int:
+        """Maximum arc nesting depth (0 for an arc-free structure)."""
+        best = 0
+        depth = 0
+        for pos in range(self._length):
+            mate = int(self._partner[pos])
+            if mate > pos:
+                depth += 1
+                best = max(best, depth)
+            elif mate != -1:
+                depth -= 1
+        return best
+
+    @cached_property
+    def right_endpoint_set(self) -> frozenset[int]:
+        """Positions that close an arc (the paper's preprocessing output)."""
+        return frozenset(int(r) for r in self._rights)
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def restricted_to(self, i: int, j: int) -> "Structure":
+        """The substructure induced by interval ``[i, j]``, re-indexed to 0.
+
+        Arcs straddling the boundary are dropped (they cannot participate in
+        a comparison confined to the interval).
+        """
+        if j < i:
+            return Structure(0, ())
+        kept = [
+            (a.left - i, a.right - i)
+            for a in self.arcs_in(max(i, 0), min(j, self._length - 1))
+        ]
+        seq = None
+        if self._sequence is not None:
+            seq = self._sequence[i : j + 1]
+        return Structure(j - i + 1, kept, sequence=seq)
+
+    def without_arcs(self, indices: Iterable[int]) -> "Structure":
+        """Copy of this structure with the given arc indices removed."""
+        drop = set(int(k) for k in indices)
+        kept = [tuple(a) for k, a in enumerate(self._arcs) if k not in drop]
+        return Structure(self._length, kept, sequence=self._sequence)
+
+    def shifted(self, offset: int, new_length: int | None = None) -> "Structure":
+        """Copy with every arc translated by *offset* positions."""
+        new_len = self._length + offset if new_length is None else new_length
+        return Structure(
+            new_len, [(a.left + offset, a.right + offset) for a in self._arcs]
+        )
+
+    @staticmethod
+    def concatenate(parts: Sequence["Structure"]) -> "Structure":
+        """Concatenate structures end to end (arcs stay within each part)."""
+        arcs: list[tuple[int, int]] = []
+        offset = 0
+        seqs: list[str] = []
+        have_seq = all(p.sequence is not None for p in parts) and len(parts) > 0
+        for part in parts:
+            arcs.extend((a.left + offset, a.right + offset) for a in part.arcs)
+            if have_seq:
+                seqs.append(part.sequence)  # type: ignore[arg-type]
+            offset += part.length
+        return Structure(offset, arcs, sequence="".join(seqs) if have_seq else None)

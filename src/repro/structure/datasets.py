@@ -1,0 +1,113 @@
+"""Named datasets used by the paper's evaluation.
+
+The paper's Table II self-compares two 23S ribosomal RNA secondary
+structures downloaded from GenBank / the Comparative RNA Web site:
+
+* *Suillus sinuspaulianus* (Fungus), accession L47585 — 4216 bases, 721 arcs;
+* *Plasmodium falciparum* (Malaria Parasite), accession U48228 — 4381 bases,
+  1126 arcs.
+
+Those files are not redistributable here and the reproduction environment is
+offline, so this module provides **synthetic stand-ins** with exactly the
+same length and arc count and an rRNA-like helix/loop composition (stacked
+helices averaging ~6 bp, branched multiloops).  Table II only exercises
+scale and realistic arc topology — sparse arcs, moderate nesting — so these
+stand-ins preserve the behaviour the experiment measures.  The substitution
+is recorded in DESIGN.md.
+
+Every dataset is deterministic (fixed seed) so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.structure.arcs import Structure
+from repro.structure.generators import (
+    contrived_worst_case,
+    rna_like_structure,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "fungus_23s",
+    "malaria_23s",
+    "worst_case_table1",
+    "REGISTRY",
+    "get_dataset",
+]
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Metadata describing a named dataset."""
+
+    name: str
+    description: str
+    length: int
+    n_arcs: int
+    paper_reference: str
+    synthetic: bool
+
+
+_FUNGUS_SEED = 0x23517585  # stable seeds derived from the accession numbers
+_MALARIA_SEED = 0x48228
+
+
+def fungus_23s() -> Structure:
+    """Synthetic stand-in for the Fungus 23S rRNA (L47585): 4216 nt, 721 arcs."""
+    return rna_like_structure(4216, 721, seed=_FUNGUS_SEED)
+
+
+def malaria_23s() -> Structure:
+    """Synthetic stand-in for the Malaria 23S rRNA (U48228): 4381 nt, 1126 arcs."""
+    return rna_like_structure(4381, 1126, seed=_MALARIA_SEED)
+
+
+def worst_case_table1(length: int) -> Structure:
+    """Contrived worst-case structure for a Table I column (length 100..1600)."""
+    return contrived_worst_case(length)
+
+
+REGISTRY: dict[str, tuple[DatasetInfo, Callable[[], Structure]]] = {
+    "fungus": (
+        DatasetInfo(
+            name="fungus",
+            description=(
+                "Synthetic stand-in for 23S rRNA of Suillus sinuspaulianus "
+                "(Fungus; GenBank L47585)"
+            ),
+            length=4216,
+            n_arcs=721,
+            paper_reference="Table II, column 1",
+            synthetic=True,
+        ),
+        fungus_23s,
+    ),
+    "malaria": (
+        DatasetInfo(
+            name="malaria",
+            description=(
+                "Synthetic stand-in for 23S rRNA of Plasmodium falciparum "
+                "(Malaria Parasite; GenBank U48228)"
+            ),
+            length=4381,
+            n_arcs=1126,
+            paper_reference="Table II, column 2",
+            synthetic=True,
+        ),
+        malaria_23s,
+    ),
+}
+
+
+def get_dataset(name: str) -> Structure:
+    """Build a registered dataset by name (``'fungus'`` or ``'malaria'``)."""
+    try:
+        _, builder = REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {sorted(REGISTRY)}"
+        ) from None
+    return builder()

@@ -1,0 +1,64 @@
+"""Dot-bracket notation for non-pseudoknot structures.
+
+The standard Vienna convention: ``(`` opens an arc, ``)`` closes the most
+recently opened arc, and ``.`` marks an unpaired position.  Because the
+library's model forbids pseudoknots, a single bracket family suffices and
+every valid :class:`~repro.structure.arcs.Structure` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.structure.arcs import Structure
+
+__all__ = ["from_dotbracket", "to_dotbracket"]
+
+_OPEN = "("
+_CLOSE = ")"
+_UNPAIRED = ".-_:,"
+
+
+def from_dotbracket(text: str, sequence: str | None = None) -> Structure:
+    """Parse a dot-bracket string into a :class:`Structure`.
+
+    Whitespace is ignored.  The characters ``. - _ : ,`` all denote an
+    unpaired position (different tools use different fillers).
+
+    Raises
+    ------
+    ParseError
+        On unbalanced brackets or unknown characters.
+    """
+    cleaned = "".join(text.split())
+    arcs: list[tuple[int, int]] = []
+    stack: list[int] = []
+    for pos, char in enumerate(cleaned):
+        if char == _OPEN:
+            stack.append(pos)
+        elif char == _CLOSE:
+            if not stack:
+                raise ParseError(
+                    f"unbalanced ')' at position {pos} in dot-bracket string"
+                )
+            arcs.append((stack.pop(), pos))
+        elif char in _UNPAIRED:
+            continue
+        else:
+            raise ParseError(
+                f"unexpected character {char!r} at position {pos}; expected "
+                "'(', ')' or one of '.-_:,'"
+            )
+    if stack:
+        raise ParseError(
+            f"unbalanced '(' at position {stack[-1]} in dot-bracket string"
+        )
+    return Structure(len(cleaned), arcs, sequence=sequence)
+
+
+def to_dotbracket(structure: Structure) -> str:
+    """Render a structure as a dot-bracket string."""
+    chars = ["."] * structure.length
+    for arc in structure.arcs:
+        chars[arc.left] = _OPEN
+        chars[arc.right] = _CLOSE
+    return "".join(chars)

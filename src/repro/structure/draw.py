@@ -1,0 +1,119 @@
+"""ASCII arc diagrams — the paper's Figure 1 rendering, in text.
+
+Draws a structure as a sequence line with arcs above it, one text row per
+nesting level::
+
+     .--------.
+     |  .--.  |
+    (( (    ) ))
+    0123456789...
+
+Used by the examples and the CLI's ``describe --draw``; the renderer is
+deterministic and round-trip tested (the arcs can be read back off the
+drawing).
+"""
+
+from __future__ import annotations
+
+from repro.structure.arcs import Structure
+
+__all__ = ["draw_arcs", "draw_matching"]
+
+
+def draw_arcs(
+    structure: Structure,
+    show_positions: bool = True,
+    show_sequence: bool = True,
+) -> str:
+    """Render *structure* as an ASCII arc diagram.
+
+    Each arc is drawn as ``.---.`` with ``|`` verticals connecting down to
+    its endpoints; deeper-nested arcs sit on lower rows.  Position ruler
+    rows (mod 10) are appended when *show_positions*.
+    """
+    n = structure.length
+    if n == 0:
+        return "(empty structure)"
+    depth = structure.depth
+    # Row 0 is the outermost arc level; row depth-1 hugs the sequence.
+    canvas = [[" "] * n for _ in range(depth)]
+
+    # Assign each arc its nesting level (0-based from the outside).
+    level: dict[int, int] = {}
+    stack = 0
+    arc_at_left = {a.left: k for k, a in enumerate(structure.arcs)}
+    partner = structure.partner
+    for pos in range(n):
+        mate = int(partner[pos])
+        if mate > pos:
+            level[arc_at_left[pos]] = stack
+            stack += 1
+        elif mate != -1:
+            stack -= 1
+
+    for index, arc in enumerate(structure.arcs):
+        row = level[index]
+        canvas[row][arc.left] = "."
+        canvas[row][arc.right] = "."
+        for col in range(arc.left + 1, arc.right):
+            canvas[row][col] = "-"
+        # Verticals from the arc's corners down to the sequence line.
+        for below in range(row + 1, depth):
+            for col in (arc.left, arc.right):
+                if canvas[below][col] == " ":
+                    canvas[below][col] = "|"
+
+    lines = ["".join(row).rstrip() for row in canvas]
+    if show_sequence:
+        seq = structure.sequence
+        base_line = []
+        for pos in range(n):
+            mate = int(partner[pos])
+            if seq is not None:
+                base_line.append(seq[pos])
+            elif mate == -1:
+                base_line.append(".")
+            else:
+                base_line.append("(" if mate > pos else ")")
+        lines.append("".join(base_line))
+    if show_positions:
+        lines.append("".join(str(pos % 10) for pos in range(n)))
+    return "\n".join(lines)
+
+
+def draw_matching(
+    s1: Structure,
+    s2: Structure,
+    pairs,
+) -> str:
+    """Render two structures with matched arcs labelled by shared letters.
+
+    *pairs* is the list of :class:`~repro.core.backtrace.MatchedPair` from
+    a backtrace; matched arcs get the same label (``a``, ``b``, ...) drawn
+    at both endpoints, unmatched arcs keep plain brackets.
+    """
+
+    def labelled(structure: Structure, selector) -> str:
+        chars = []
+        partner = structure.partner
+        labels: dict[int, str] = {}
+        for index, pair in enumerate(pairs):
+            arc = selector(pair)
+            label = chr(ord("a") + index % 26)
+            labels[arc.left] = label
+            labels[arc.right] = label
+        for pos in range(structure.length):
+            if pos in labels:
+                chars.append(labels[pos])
+            elif int(partner[pos]) == -1:
+                chars.append(".")
+            else:
+                chars.append("(" if int(partner[pos]) > pos else ")")
+        return "".join(chars)
+
+    return "\n".join(
+        [
+            labelled(s1, lambda pair: pair.arc1),
+            labelled(s2, lambda pair: pair.arc2),
+        ]
+    )

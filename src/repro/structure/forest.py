@@ -1,0 +1,106 @@
+"""Ordered-forest view of a non-pseudoknot structure.
+
+Because arcs in the restricted model never cross and never share endpoints,
+the arc set of a :class:`~repro.structure.arcs.Structure` forms an *ordered
+forest*: an arc's children are the arcs immediately nested inside it, and
+sibling order follows sequence order.  This view is what the independent
+testing oracle (:mod:`repro.core.oracle`) operates on, and it also drives the
+illustrative dependency-graph figures (paper Figures 3-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.structure.arcs import Arc, Structure
+
+__all__ = ["TreeNode", "Forest"]
+
+
+@dataclass
+class TreeNode:
+    """One arc of the structure, with the arcs nested directly inside it."""
+
+    arc: Arc
+    index: int  # index into Structure.arcs (right-endpoint order)
+    children: list["TreeNode"] = field(default_factory=list)
+
+    def subtree_size(self) -> int:
+        """Number of arcs in this subtree, including this one."""
+        return 1 + sum(child.subtree_size() for child in self.children)
+
+    def height(self) -> int:
+        """Nesting depth below this arc (a leaf arc has height 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def iter_preorder(self) -> Iterator["TreeNode"]:
+        """This node, then each child subtree, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_preorder()
+
+    def shape(self) -> tuple:
+        """Canonical hashable shape of the subtree (ignores positions)."""
+        return tuple(child.shape() for child in self.children)
+
+
+class Forest:
+    """The ordered forest of arcs of a structure."""
+
+    def __init__(self, structure: Structure):
+        self._structure = structure
+        roots: list[TreeNode] = []
+        stack: list[TreeNode] = []
+        arc_at_left = {a.left: k for k, a in enumerate(structure.arcs)}
+        partner = structure.partner
+        for pos in range(structure.length):
+            mate = int(partner[pos])
+            if mate > pos:
+                idx = arc_at_left[pos]
+                node = TreeNode(structure.arcs[idx], idx)
+                if stack:
+                    stack[-1].children.append(node)
+                else:
+                    roots.append(node)
+                stack.append(node)
+            elif mate != -1:
+                stack.pop()
+        self._roots = roots
+
+    @property
+    def structure(self) -> Structure:
+        return self._structure
+
+    @property
+    def roots(self) -> list[TreeNode]:
+        """Top-level arcs (not nested inside any other arc), left to right."""
+        return self._roots
+
+    def n_arcs(self) -> int:
+        """Total arcs across all trees."""
+        return sum(root.subtree_size() for root in self._roots)
+
+    def height(self) -> int:
+        """Maximum nesting depth; equals :attr:`Structure.depth`."""
+        if not self._roots:
+            return 0
+        return max(root.height() for root in self._roots)
+
+    def iter_preorder(self) -> Iterator[TreeNode]:
+        """Every node of every tree, depth-first, left to right."""
+        for root in self._roots:
+            yield from root.iter_preorder()
+
+    def shape(self) -> tuple:
+        """Canonical hashable shape of the whole forest."""
+        return tuple(root.shape() for root in self._roots)
+
+    def node_for_arc(self, index: int) -> TreeNode:
+        """The node for arc *index* (right-endpoint order)."""
+        for node in self.iter_preorder():
+            if node.index == index:
+                return node
+        raise KeyError(f"no arc with index {index}")

@@ -1,0 +1,377 @@
+"""Workload generators for structure-comparison experiments.
+
+The paper's evaluation uses two kinds of inputs:
+
+* *contrived worst-case data* — "the maximum number of possible nested arcs
+  for a given sequence length" (Section IV-C, the structure of Figure 5) —
+  produced here by :func:`contrived_worst_case`;
+* *real 23S ribosomal RNA structures* — which we cannot download offline, so
+  :func:`rna_like_structure` synthesizes structures with the same length,
+  arc count and helix/loop composition (see
+  :mod:`repro.structure.datasets`).
+
+All random generators take an explicit seed (or :class:`numpy.random
+.Generator`) so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import StructureError
+from repro.structure.arcs import Structure
+
+__all__ = [
+    "contrived_worst_case",
+    "sequential_arcs",
+    "comb_structure",
+    "random_structure",
+    "rna_like_structure",
+    "hairpin",
+    "nest",
+    "trna_cloverleaf",
+    "rrna_5s",
+    "mutate",
+]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def contrived_worst_case(length: int) -> Structure:
+    """Maximally nested structure: ``length // 2`` concentric arcs.
+
+    For a sequence of ``length`` positions, arcs are
+    ``(0, length-1), (1, length-2), ...`` — the densest possible matching
+    under the non-pseudoknot model.  Self-comparing this structure spawns the
+    greatest number of child slices, which is exactly how the paper stresses
+    SRNA1/SRNA2 (Table I) and PRNA (Figure 8): "1600 nested arcs (a sequence
+    containing 3200 bases)".
+    """
+    if length < 0:
+        raise StructureError(f"length must be non-negative, got {length}")
+    arcs = [(i, length - 1 - i) for i in range(length // 2)]
+    return Structure(length, arcs)
+
+
+def sequential_arcs(n_arcs: int, gap: int = 0) -> Structure:
+    """``n_arcs`` adjacent hairpin arcs in sequence: ``(0,1), (2,3), ...``
+
+    With ``gap > 0``, unpaired positions separate consecutive arcs.  This is
+    the opposite extreme from :func:`contrived_worst_case`: nesting depth 1,
+    so no slice ever spawns work for another.
+    """
+    if n_arcs < 0:
+        raise StructureError(f"n_arcs must be non-negative, got {n_arcs}")
+    stride = 2 + gap
+    arcs = [(k * stride, k * stride + 1) for k in range(n_arcs)]
+    length = n_arcs * stride - gap if n_arcs else 0
+    return Structure(length, arcs)
+
+
+def comb_structure(n_teeth: int, tooth_depth: int) -> Structure:
+    """A comb: ``n_teeth`` sequential groups of ``tooth_depth`` nested arcs.
+
+    Interpolates between the two extremes above; with ``n_teeth=1`` it is the
+    contrived worst case, with ``tooth_depth=1`` it is `sequential_arcs`.
+    The paper notes real structures contain "groups of nested arcs ... on a
+    much smaller scale" — a comb is the clean model of that.
+    """
+    if n_teeth < 0 or tooth_depth < 0:
+        raise StructureError("n_teeth and tooth_depth must be non-negative")
+    tooth_len = 2 * tooth_depth
+    arcs = []
+    for t in range(n_teeth):
+        base = t * tooth_len
+        arcs.extend((base + i, base + tooth_len - 1 - i) for i in range(tooth_depth))
+    return Structure(n_teeth * tooth_len, arcs)
+
+
+def hairpin(stem: int, loop: int) -> Structure:
+    """A single hairpin: *stem* stacked arcs around *loop* unpaired bases."""
+    if stem < 0 or loop < 0:
+        raise StructureError("stem and loop must be non-negative")
+    length = 2 * stem + loop
+    return Structure(length, [(i, length - 1 - i) for i in range(stem)])
+
+
+def nest(inner: Structure, stem: int, tail: int = 0) -> Structure:
+    """Wrap *inner* in *stem* stacked arcs, appending *tail* unpaired
+    positions — the composition brick for multi-branch archetypes."""
+    if stem < 0 or tail < 0:
+        raise StructureError("stem and tail must be non-negative")
+    length = inner.length + 2 * stem + tail
+    arcs = [(i, 2 * stem + inner.length - 1 - i) for i in range(stem)]
+    arcs += [(a.left + stem, a.right + stem) for a in inner.arcs]
+    return Structure(length, arcs)
+
+
+def trna_cloverleaf() -> Structure:
+    """The canonical tRNA cloverleaf (76 nt, 21 base pairs).
+
+    Acceptor stem (7 bp) enclosing the three-armed multiloop: D arm
+    (4 bp stem, 8 nt loop), anticodon arm (5 bp, 7 nt loop), T arm
+    (5 bp, 7 nt loop), with short junction spacers and the unpaired
+    NCCA-style 3' tail.  A deterministic, biologically shaped test and
+    demo input.
+    """
+    spacer = Structure(2, ())
+    body = Structure.concatenate(
+        [
+            spacer,
+            hairpin(4, 8),   # D arm
+            spacer,
+            hairpin(5, 7),   # anticodon arm
+            spacer,
+            hairpin(5, 7),   # T arm
+            spacer,
+        ]
+    )
+    return nest(body, stem=7, tail=4)
+
+
+def rrna_5s() -> Structure:
+    """A 5S-rRNA-shaped structure (~120 nt, 34 bp): helix I enclosing a
+    three-way junction of helix II/III (one arm carrying an internal
+    loop) and helix IV/V (a stacked arm).  Deterministic."""
+    arm_beta = nest(  # helices II+III with an internal loop between them
+        Structure.concatenate(
+            [Structure(3, ()), hairpin(7, 11), Structure(2, ())]
+        ),
+        stem=6,
+    )
+    arm_gamma = nest(  # helices IV+V, near-contiguous stack
+        Structure.concatenate([Structure(1, ()), hairpin(6, 13)]),
+        stem=5,
+    )
+    junction = Structure.concatenate(
+        [Structure(5, ()), arm_beta, Structure(6, ()), arm_gamma,
+         Structure(4, ())]
+    )
+    return nest(junction, stem=10, tail=3)
+
+
+def mutate(
+    structure: Structure,
+    *,
+    delete: int = 0,
+    insert: int = 0,
+    seed: int | np.random.Generator | None = None,
+    max_tries: int = 10_000,
+) -> Structure:
+    """Structural divergence model: delete then insert random arcs.
+
+    Deletions pick arcs uniformly; insertions pick uniformly among the
+    position pairs that keep the structure valid (free endpoints, no
+    crossings).  Sequence length is preserved — only the bond structure
+    mutates — so MCOS scores against the original are directly
+    interpretable (each deletion costs exactly one match; insertions can
+    only help by chance).
+    """
+    if delete < 0 or insert < 0:
+        raise StructureError("delete and insert must be non-negative")
+    if delete > structure.n_arcs:
+        raise StructureError(
+            f"cannot delete {delete} arcs from a structure with "
+            f"{structure.n_arcs}"
+        )
+    rng = _rng(seed)
+    victims = (
+        rng.choice(structure.n_arcs, size=delete, replace=False).tolist()
+        if delete
+        else []
+    )
+    current = structure.without_arcs(victims)
+    partner = np.array(current.partner)
+    arcs = [tuple(a) for a in current.arcs]
+    placed = 0
+    misses = 0
+    length = current.length
+    while placed < insert and misses < max_tries:
+        if length < 2:
+            break
+        i, j = sorted(int(p) for p in rng.choice(length, size=2, replace=False))
+        ok = partner[i] == -1 and partner[j] == -1
+        if ok:
+            mates = partner[i + 1 : j]
+            mates = mates[mates != -1]
+            ok = not (mates.size and ((mates < i).any() or (mates > j).any()))
+        if not ok:
+            misses += 1
+            continue
+        partner[i], partner[j] = j, i
+        arcs.append((i, j))
+        placed += 1
+    if placed < insert:
+        raise StructureError(
+            f"could not place {insert} new arcs (placed {placed})"
+        )
+    return Structure(length, arcs, sequence=structure.sequence)
+
+
+def random_structure(
+    length: int,
+    n_arcs: int,
+    seed: int | np.random.Generator | None = None,
+    max_tries: int = 10_000,
+) -> Structure:
+    """Uniform-ish random non-pseudoknot structure with exactly ``n_arcs``.
+
+    Arcs are inserted one at a time at positions chosen uniformly among the
+    placements that keep the structure valid (no shared endpoints, no
+    crossings).  Raises :class:`StructureError` if ``n_arcs`` cannot fit.
+    """
+    if n_arcs * 2 > length:
+        raise StructureError(
+            f"cannot place {n_arcs} arcs in a sequence of length {length}"
+        )
+    rng = _rng(seed)
+    # Rejection sampling with full restarts: earlier placements can make the
+    # remaining arcs unplaceable (all free position pairs would cross), so a
+    # stuck attempt is discarded wholesale rather than retried forever.
+    for _attempt in range(200):
+        partner = np.full(length, -1, dtype=np.int64)
+        arcs: list[tuple[int, int]] = []
+        misses = 0
+        while len(arcs) < n_arcs and misses < max_tries:
+            i, j = sorted(int(p) for p in rng.choice(length, size=2, replace=False))
+            # An arc (i, j) is valid iff both endpoints are free and every
+            # existing arc is entirely inside, outside, or around (i, j).
+            ok = partner[i] == -1 and partner[j] == -1
+            if ok:
+                inner = partner[i + 1 : j]
+                mates = inner[inner != -1]
+                ok = not (mates.size and ((mates < i).any() or (mates > j).any()))
+            if not ok:
+                misses += 1
+                continue
+            partner[i], partner[j] = j, i
+            arcs.append((i, j))
+        if len(arcs) == n_arcs:
+            return Structure(length, arcs)
+    raise StructureError(
+        f"failed to place {n_arcs} arcs in length {length} after 200 restarts"
+    )
+
+
+def rna_like_structure(
+    length: int,
+    n_arcs: int,
+    seed: int | np.random.Generator | None = None,
+    helix_mean: float = 6.0,
+    helix_min: int = 2,
+    branch_prob: float = 0.35,
+) -> Structure:
+    """Synthetic structure with realistic rRNA-like composition.
+
+    Real secondary structures consist of *helices* (stacks of consecutive
+    nested arcs, geometrically-distributed length), separated by unpaired
+    loop regions, organized into a branched multiloop topology.  This
+    generator builds such a structure recursively:
+
+    1. split the arc budget into helices of ``~Geometric(1/helix_mean)``
+       stacked arcs (at least ``helix_min``);
+    2. arrange helices into a random ordered forest — with probability
+       ``branch_prob`` a helix nests inside the previous one (multiloop
+       branching), otherwise it follows sequentially;
+    3. distribute the remaining unpaired positions as loops between helix
+       boundaries.
+
+    The result matches the length and arc count requested exactly, which is
+    what the Table II stand-ins need (4216 nt / 721 arcs and
+    4381 nt / 1126 arcs).
+    """
+    if n_arcs * 2 > length:
+        raise StructureError(
+            f"cannot place {n_arcs} arcs in a sequence of length {length}"
+        )
+    rng = _rng(seed)
+
+    # 1. Split the arc budget into helix lengths.
+    helices: list[int] = []
+    remaining = n_arcs
+    while remaining > 0:
+        size = helix_min + int(rng.geometric(1.0 / max(helix_mean - helix_min, 1.0))) - 1
+        size = min(size, remaining)
+        helices.append(size)
+        remaining -= size
+    rng.shuffle(helices)
+
+    # 2. Build a nesting skeleton: a sequence of tokens describing an ordered
+    #    forest of helices.  Each tree node is a helix; children nest inside.
+    #    We emit arcs while tracking the running sequence position, inserting
+    #    loop gaps later.
+    class _Node:
+        __slots__ = ("size", "children")
+
+        def __init__(self, size: int):
+            self.size = size
+            self.children: list[_Node] = []
+
+    roots: list[_Node] = []
+    stack: list[_Node] = []
+    for size in helices:
+        node = _Node(size)
+        if stack and rng.random() < branch_prob:
+            stack[-1].children.append(node)
+        else:
+            # Pop back to a random ancestor level (possibly the top level).
+            if stack:
+                keep = int(rng.integers(0, len(stack) + 1))
+                del stack[keep:]
+            if stack:
+                stack[-1].children.append(node)
+            else:
+                roots.append(node)
+        stack.append(node)
+
+    # 3. Count gap slots: before/after every helix run there is a potential
+    #    loop.  Emit the structure depth-first, assigning each helix its
+    #    paired positions and threading unpaired slack through the slots.
+    total_paired = 2 * n_arcs
+    slack = length - total_paired
+    # Number of loop slots: one before each node, inside each hairpin/
+    # multiloop, and one at the very end.
+    n_slots = 1
+    def _count_slots(node: _Node) -> int:
+        inner = 1 + len(node.children)  # inside the helix, around children
+        return inner + sum(_count_slots(c) for c in node.children)
+    for root in roots:
+        n_slots += 1 + _count_slots(root)
+    # Random composition of `slack` into `n_slots` non-negative parts.
+    if n_slots > 1 and slack > 0:
+        cuts = np.sort(rng.integers(0, slack + 1, size=n_slots - 1))
+        parts = np.diff(np.concatenate(([0], cuts, [slack]))).tolist()
+    else:
+        parts = [slack] + [0] * (n_slots - 1)
+    part_iter = iter(parts)
+
+    arcs: list[tuple[int, int]] = []
+    pos = next(part_iter)  # leading unpaired region
+
+    def _emit(node: _Node) -> None:
+        nonlocal pos
+        opens = list(range(pos, pos + node.size))
+        pos += node.size
+        pos += next(part_iter)  # loop just inside the helix
+        for child in node.children:
+            _emit(child)
+            pos += next(part_iter)  # spacer between children / before close
+        closes = list(range(pos, pos + node.size))
+        pos += node.size
+        for k in range(node.size):
+            arcs.append((opens[node.size - 1 - k], closes[k]))
+
+    for root in roots:
+        _emit(root)
+        pos += next(part_iter)  # spacer after a top-level helix
+
+    if pos > length:
+        raise StructureError(
+            f"internal error: generator produced {pos} positions for length "
+            f"{length}"
+        )
+    return Structure(length, arcs)

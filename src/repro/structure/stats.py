@@ -1,0 +1,102 @@
+"""Summary statistics of structures and comparison instances.
+
+Besides generic descriptive statistics, this module computes the paper's
+Figure 7 *work matrix*: for a pair of structures, entry ``(a, b)`` is the
+number of subproblems tabulated by the child slice spawned when arc ``a`` of
+``S1`` matches arc ``b`` of ``S2`` — the quantity the static load balancer
+partitions (Section V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.structure.arcs import Structure
+from repro.structure.forest import Forest
+
+__all__ = ["StructureStats", "describe", "work_matrix", "column_work"]
+
+
+@dataclass(frozen=True)
+class StructureStats:
+    """Descriptive statistics of a single structure."""
+
+    length: int
+    n_arcs: int
+    n_unpaired: int
+    max_depth: int
+    n_helices: int
+    mean_helix_length: float
+    max_span: int
+
+    @property
+    def pairing_fraction(self) -> float:
+        """Fraction of positions that are arc endpoints."""
+        if self.length == 0:
+            return 0.0
+        return 2.0 * self.n_arcs / self.length
+
+
+def _helices(structure: Structure) -> list[int]:
+    """Lengths of maximal stacks of directly nested, adjacent arcs."""
+    forest = Forest(structure)
+    helices: list[int] = []
+
+    def walk(node, run: int) -> None:
+        children = node.children
+        stacked = (
+            len(children) == 1
+            and children[0].arc.left == node.arc.left + 1
+            and children[0].arc.right == node.arc.right - 1
+        )
+        if stacked:
+            walk(children[0], run + 1)
+        else:
+            helices.append(run)
+            for child in children:
+                walk(child, 1)
+
+    for root in forest.roots:
+        walk(root, 1)
+    return helices
+
+
+def describe(structure: Structure) -> StructureStats:
+    """Compute descriptive statistics for a structure."""
+    helices = _helices(structure)
+    return StructureStats(
+        length=structure.length,
+        n_arcs=structure.n_arcs,
+        n_unpaired=structure.length - 2 * structure.n_arcs,
+        max_depth=structure.depth,
+        n_helices=len(helices),
+        mean_helix_length=float(np.mean(helices)) if helices else 0.0,
+        max_span=max((a.right - a.left for a in structure.arcs), default=0),
+    )
+
+
+def work_matrix(s1: Structure, s2: Structure) -> np.ndarray:
+    """Paper Figure 7: per-arc-pair child-slice work estimates.
+
+    ``W[a, b] = inside_count1[a] * inside_count2[b]`` — the number of
+    subproblems (arc pairs) tabulated inside the child slice spawned by
+    matching arc ``a`` of ``s1`` with arc ``b`` of ``s2``.  Because the
+    matrix is an outer product, the *relative* work of the columns is
+    identical from row to row, which is what makes the paper's static
+    column-wise load balancing sound.
+    """
+    return np.outer(s1.inside_count, s2.inside_count)
+
+
+def column_work(s1: Structure, s2: Structure) -> np.ndarray:
+    """Total stage-one work attributable to each column (arc of ``s2``).
+
+    Column ``b``'s weight is ``sum_a W[a, b] = (sum_a inside1[a]) *
+    inside2[b]``; since the leading factor is shared, the returned weights
+    are simply ``inside_count2`` scaled by the total — the exact quantity
+    PRNA's greedy balancer partitions.
+    """
+    total_rows = int(s1.inside_count.sum())
+    return s2.inside_count * total_rows

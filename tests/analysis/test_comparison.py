@@ -1,0 +1,40 @@
+"""Comparison report rendering."""
+
+from repro.analysis.comparison import render_comparison
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import rna_like_structure
+
+
+class TestRenderComparison:
+    def test_paper_example_report(self):
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        report = render_comparison(a, b, "three-two", "two-three")
+        assert "MCOS score: 4" in report
+        assert "three-two coverage: 80.0%" in report
+        assert "co-optimal matchings:" in report
+        assert "anchored alignment" in report
+        assert "matched arcs labelled in place:" in report
+        # Diagrams are present at this size.
+        assert ".---" in report
+
+    def test_large_structures_skip_enumeration_and_diagrams(self):
+        s1 = rna_like_structure(300, 70, seed=1)
+        s2 = rna_like_structure(300, 70, seed=2)
+        report = render_comparison(s1, s2, diagrams=True)
+        assert "co-optimal" not in report  # above the enumeration budget
+        assert "MCOS score:" in report
+
+    def test_arcless_inputs(self):
+        report = render_comparison(
+            from_dotbracket("..."), from_dotbracket("....")
+        )
+        assert "MCOS score: 0" in report
+
+    def test_cli_report_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "(())", "(())", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "MCOS score: 2" in out
+        assert "anchored alignment" in out

@@ -1,0 +1,100 @@
+"""Dependency-graph analysis (paper Figures 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.depgraph import (
+    dependency_graph,
+    memo_dependency_matrix,
+    slice_graph,
+)
+from repro.core.topdown import reachable_subproblems
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import (
+    comb_structure,
+    contrived_worst_case,
+    sequential_arcs,
+)
+
+networkx = pytest.importorskip("networkx")
+
+
+class TestDependencyGraph:
+    def test_matches_reachable_set(self):
+        s = from_dotbracket("((.))")
+        graph = dependency_graph(s, s)
+        expected = reachable_subproblems(s, s)
+        assert set(graph.nodes) == expected
+
+    def test_edges_labelled_with_cases(self):
+        s = from_dotbracket("(())")
+        graph = dependency_graph(s, s)
+        cases = {data["case"] for _, _, data in graph.edges(data=True)}
+        assert cases <= {"s1", "s2", "d1", "d2"}
+        assert "d2" in cases  # matched arcs exist
+
+    def test_acyclic(self):
+        s = from_dotbracket("((..))()")
+        graph = dependency_graph(s, s)
+        assert networkx.is_directed_acyclic_graph(graph)
+
+    def test_empty_structure(self):
+        s = from_dotbracket("")
+        assert len(dependency_graph(s, s)) == 0
+
+    def test_node_budget(self):
+        s = contrived_worst_case(40)
+        with pytest.raises(MemoryError, match="exceeded"):
+            dependency_graph(s, s, max_nodes=50)
+
+
+class TestSliceGraph:
+    def test_parent_present(self):
+        s = from_dotbracket("(())")
+        graph = slice_graph(s, s)
+        assert (0, 0) in graph
+        assert graph.nodes[(0, 0)]["kind"] == "parent"
+
+    def test_worst_case_all_pairs(self):
+        s = contrived_worst_case(8)  # 4 nested arcs
+        graph = slice_graph(s, s)
+        # Every arc pair origin (a+1, b+1) appears, plus the parent.
+        assert len(graph) == 1 + 4 * 4
+
+    def test_sequential_children_empty(self):
+        s = sequential_arcs(3)
+        graph = slice_graph(s, s)
+        # Child slices exist as nodes but spawn nothing further.
+        children = [n for n, d in graph.nodes(data=True) if d["kind"] == "child"]
+        for child in children:
+            assert graph.out_degree(child) == 0
+
+    def test_edges_carry_arc_pairs(self):
+        s = from_dotbracket("(())")
+        graph = slice_graph(s, s)
+        arcs = {
+            data["arcs"] for _, _, data in graph.edges(data=True)
+        }
+        assert (((0, 3), (0, 3))) in arcs
+
+
+class TestMemoDependencyMatrix:
+    @pytest.mark.parametrize(
+        "structure",
+        [
+            contrived_worst_case(30),
+            comb_structure(3, 4),
+            sequential_arcs(6),
+        ],
+        ids=["worst", "comb", "sequential"],
+    )
+    def test_strictly_lower_triangular(self, structure):
+        """SRNA2's ordering soundness (Section IV-B): every memo read
+        points at an arc with a smaller right endpoint."""
+        matrix = memo_dependency_matrix(structure, structure)
+        assert (np.triu(matrix) == 0).all()
+
+    def test_counts_match_inside(self):
+        s = contrived_worst_case(10)
+        matrix = memo_dependency_matrix(s, s)
+        assert matrix.sum(axis=1).tolist() == s.inside_count.tolist()

@@ -1,0 +1,67 @@
+"""Export formats (CSV, DOT)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import experiments_to_csv, graph_to_dot, speedup_csv
+from repro.experiments.report import ExperimentRecord
+
+networkx = pytest.importorskip("networkx")
+
+
+class TestSpeedupCsv:
+    def test_tidy_format(self):
+        text = speedup_csv({"800 arcs": {1: 1.0, 64: 22.75}})
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["problem", "processors", "speedup"]
+        assert rows[1] == ["800 arcs", "1", "1"]
+        assert rows[2] == ["800 arcs", "64", "22.75"]
+
+    def test_multiple_series(self):
+        text = speedup_csv({"a": {1: 1.0}, "b": {1: 1.0, 2: 2.0}})
+        assert text.count("\n") == 4  # header + 3 data rows
+
+
+class TestExperimentsCsv:
+    def test_union_of_columns(self):
+        record = ExperimentRecord(
+            "x", "X", {}, [{"a": 1}, {"a": 2, "b": 3}], "t"
+        )
+        rows = list(csv.DictReader(io.StringIO(experiments_to_csv(record))))
+        assert rows[0]["a"] == "1"
+        assert rows[0]["b"] == ""
+        assert rows[1]["b"] == "3"
+
+
+class TestGraphToDot:
+    def test_dependency_graph_round_structure(self):
+        from repro.analysis.depgraph import dependency_graph
+        from repro.structure.dotbracket import from_dotbracket
+
+        s = from_dotbracket("(())")
+        graph = dependency_graph(s, s)
+        dot = graph_to_dot(graph, name="fig3")
+        assert dot.startswith("digraph fig3 {")
+        assert dot.rstrip().endswith("}")
+        # Every node appears; dashed style marks the d2 edges.
+        for node in graph.nodes:
+            assert str(node) in dot
+        assert "style=dashed" in dot
+        assert dot.count("->") == graph.number_of_edges()
+
+    def test_slice_graph(self):
+        from repro.analysis.depgraph import slice_graph
+        from repro.structure.generators import contrived_worst_case
+
+        s = contrived_worst_case(8)
+        dot = graph_to_dot(slice_graph(s, s))
+        assert "(0, 0)" in dot
+        assert "kind=parent" in dot
+
+    def test_quote_escaping(self):
+        graph = networkx.DiGraph()
+        graph.add_edge('a"b', "c")
+        dot = graph_to_dot(graph)
+        assert "a'b" in dot

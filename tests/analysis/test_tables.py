@@ -1,0 +1,58 @@
+"""Table/series formatting."""
+
+from repro.analysis.tables import (
+    format_ascii_chart,
+    format_speedup_series,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "2.500" in lines[3]  # floats at paper precision
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table I")
+        assert out.splitlines()[0] == "Table I"
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = out.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all lines equal width
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestFormatSpeedupSeries:
+    def test_shared_axis(self):
+        series = {"one": {1: 1.0, 4: 3.5}, "two": {1: 1.0, 8: 6.0}}
+        out = format_speedup_series(series)
+        assert "procs" in out
+        # Missing points render as '-'.
+        assert "-" in out
+        assert "3.50" in out and "6.00" in out
+
+    def test_title(self):
+        out = format_speedup_series({"c": {1: 1.0}}, title="Figure 8")
+        assert out.startswith("Figure 8")
+
+
+class TestAsciiChart:
+    def test_bars_scale(self):
+        out = format_ascii_chart({"curve": {1: 1.0, 2: 2.0}}, width=10)
+        lines = [line for line in out.splitlines() if "|" in line]
+        bar1 = lines[0].split("|")[1].split()[0]
+        bar2 = lines[1].split("|")[1].split()[0]
+        assert len(bar2) > len(bar1)
+
+    def test_title_and_legend(self):
+        out = format_ascii_chart({"a": {1: 1.0}}, title="Chart")
+        assert out.splitlines()[0] == "Chart"
+        assert "[*] a" in out

@@ -1,0 +1,130 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import (
+    comb_structure,
+    contrived_worst_case,
+    random_structure,
+    sequential_arcs,
+)
+
+
+# ----------------------------------------------------------------------
+# Deterministic structure zoo
+# ----------------------------------------------------------------------
+@pytest.fixture
+def empty_structure() -> Structure:
+    return Structure(0, ())
+
+
+@pytest.fixture
+def arcless_structure() -> Structure:
+    return Structure(7, ())
+
+
+@pytest.fixture
+def hairpin() -> Structure:
+    """One arc: ``(..)``"""
+    return from_dotbracket("(..)")
+
+
+@pytest.fixture
+def paper_figure1() -> Structure:
+    """The 20-position example of paper Figure 1: arcs (0,19), (1,8),
+    (9,18), plus inner structure resembling the drawing."""
+    return Structure(20, [(0, 19), (1, 8), (9, 18), (2, 5), (10, 13)])
+
+
+@pytest.fixture
+def nested_pair() -> Structure:
+    return from_dotbracket("(())")
+
+
+@pytest.fixture(
+    params=[
+        "....",
+        "()",
+        "(())",
+        "()()",
+        "((..))..(())",
+        "((()))(())",
+        "(())((()))",
+        "(((((.....)))))",
+        ".(.)..((.)())..",
+    ],
+    ids=lambda s: s[:12],
+)
+def zoo_structure(request) -> Structure:
+    """A varied set of small valid structures."""
+    return from_dotbracket(request.param)
+
+
+@pytest.fixture
+def worst40() -> Structure:
+    return contrived_worst_case(40)
+
+
+def make_random_pair(seed: int, max_len: int = 18) -> tuple[Structure, Structure]:
+    """Deterministic random structure pair for table-driven tests."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, max_len))
+    m = int(rng.integers(0, max_len))
+    s1 = random_structure(n, int(rng.integers(0, n // 2 + 1)), seed=rng)
+    s2 = random_structure(m, int(rng.integers(0, m // 2 + 1)), seed=rng)
+    return s1, s2
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def dotbracket_strings(draw, max_arcs: int = 8, max_unpaired: int = 8) -> str:
+    """Random balanced dot-bracket strings (valid structures by
+    construction)."""
+    n_arcs = draw(st.integers(min_value=0, max_value=max_arcs))
+    # Build by random insertions.  Inserting '(' at lo and ')' at hi >= lo
+    # into a balanced string always yields a balanced string (depths in
+    # [lo, hi) rise by one, everything else is unchanged), and every
+    # balanced dot-bracket string is a valid non-pseudoknot structure.
+    text = "." * draw(st.integers(min_value=0, max_value=max_unpaired))
+    for _ in range(n_arcs):
+        pos1 = draw(st.integers(min_value=0, max_value=len(text)))
+        pos2 = draw(st.integers(min_value=0, max_value=len(text)))
+        lo, hi = sorted((pos1, pos2))
+        text = text[:lo] + "(" + text[lo:hi] + ")" + text[hi:]
+    return text
+
+
+@st.composite
+def structures(draw, max_arcs: int = 8, max_unpaired: int = 8) -> Structure:
+    """Random valid non-pseudoknot structures."""
+    return from_dotbracket(
+        draw(dotbracket_strings(max_arcs=max_arcs, max_unpaired=max_unpaired))
+    )
+
+
+@st.composite
+def structure_pairs(draw, max_arcs: int = 6) -> tuple[Structure, Structure]:
+    return (
+        draw(structures(max_arcs=max_arcs)),
+        draw(structures(max_arcs=max_arcs)),
+    )
+
+
+# Re-export a few generators for convenience in tests.
+__all__ = [
+    "dotbracket_strings",
+    "structures",
+    "structure_pairs",
+    "make_random_pair",
+    "contrived_worst_case",
+    "sequential_arcs",
+    "comb_structure",
+]

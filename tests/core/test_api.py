@@ -1,0 +1,59 @@
+"""High-level public API."""
+
+import pytest
+
+from repro import common_substructure, mcos, mcos_size
+from repro.core.api import CommonStructureResult
+from repro.structure.dotbracket import from_dotbracket
+
+
+class TestMcos:
+    def test_accepts_dotbracket_strings(self):
+        result = mcos("((()))(())", "(())((()))")
+        assert result.score == 4
+        assert result.algorithm == "srna2"
+
+    def test_accepts_structures(self):
+        s = from_dotbracket("(())")
+        assert mcos(s, s).score == 2
+
+    @pytest.mark.parametrize("algorithm", ["srna2", "srna1", "topdown", "dense"])
+    def test_all_algorithms_agree(self, algorithm):
+        assert mcos("((.))()", "(())", algorithm=algorithm).score == 2
+
+    def test_backtrace_option(self):
+        result = mcos("(())", "(())", with_backtrace=True)
+        assert result.matched_pairs is not None
+        assert len(result.matched_pairs) == 2
+
+    def test_backtrace_unsupported_algorithms(self):
+        with pytest.raises(ValueError, match="with_backtrace"):
+            mcos("()", "()", algorithm="dense", with_backtrace=True)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            mcos("()", "()", algorithm="magic")
+
+    def test_instrument_option(self):
+        result = mcos("(())", "(())", instrument=True)
+        assert result.instrumentation is not None
+        assert result.instrumentation.slices_tabulated > 0
+
+    def test_int_conversion(self):
+        assert int(mcos("()", "()")) == 1
+
+    def test_result_dataclass(self):
+        result = CommonStructureResult(score=3, algorithm="srna2")
+        assert int(result) == 3
+
+
+class TestConvenienceWrappers:
+    def test_mcos_size(self):
+        assert mcos_size("((()))", "(()())") == 2
+
+    def test_common_substructure(self):
+        pairs = common_substructure("(())", "(())")
+        assert len(pairs) == 2
+
+    def test_common_substructure_empty(self):
+        assert common_substructure("..", "..") == []

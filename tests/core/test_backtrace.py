@@ -1,0 +1,115 @@
+"""Backtracing the common substructure and verifying certificates."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.backtrace import MatchedPair, backtrace, verify_matching
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.errors import BacktraceError
+from repro.structure.arcs import Arc
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import comb_structure, contrived_worst_case
+from tests.conftest import make_random_pair, structure_pairs
+
+
+class TestBacktrace:
+    def test_simple(self):
+        s = from_dotbracket("(())")
+        run = srna2(s, s)
+        pairs = backtrace(run.memo, s, s)
+        assert len(pairs) == 2
+        verify_matching(s, s, pairs)
+
+    def test_self_comparison_identity_possible(self):
+        s = comb_structure(3, 3)
+        run = srna2(s, s)
+        pairs = backtrace(run.memo, s, s)
+        assert len(pairs) == s.n_arcs
+        verify_matching(s, s, pairs)
+
+    def test_paper_example_certificate(self):
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        run = srna2(a, b)
+        pairs = backtrace(run.memo, a, b)
+        assert len(pairs) == 4
+        verify_matching(a, b, pairs)
+
+    def test_works_from_srna1_table(self):
+        s = contrived_worst_case(30)
+        run = srna1(s, s)
+        pairs = backtrace(run.memo, s, s)
+        assert len(pairs) == 15
+        verify_matching(s, s, pairs)
+
+    def test_arcless(self):
+        s = from_dotbracket("....")
+        run = srna2(s, s)
+        assert backtrace(run.memo, s, s) == []
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_certificates(self, seed):
+        s1, s2 = make_random_pair(seed)
+        run = srna2(s1, s2)
+        pairs = backtrace(run.memo, s1, s2)
+        assert len(pairs) == run.score
+        verify_matching(s1, s2, pairs)
+
+    @given(structure_pairs(max_arcs=6))
+    @settings(max_examples=50, deadline=None)
+    def test_certificate_property(self, pair):
+        s1, s2 = pair
+        run = srna2(s1, s2)
+        pairs = backtrace(run.memo, s1, s2)
+        assert len(pairs) == run.score
+        assert verify_matching(s1, s2, pairs)
+
+
+class TestVerifyMatching:
+    @pytest.fixture
+    def structures(self):
+        s1 = from_dotbracket("(())()")
+        s2 = from_dotbracket("(())()")
+        return s1, s2
+
+    def test_foreign_arc_rejected(self, structures):
+        s1, s2 = structures
+        with pytest.raises(BacktraceError, match="not an arc of S1"):
+            verify_matching(s1, s2, [MatchedPair(Arc(0, 2), Arc(0, 3))])
+
+    def test_duplicate_match_rejected(self, structures):
+        s1, s2 = structures
+        pairs = [
+            MatchedPair(Arc(0, 3), Arc(0, 3)),
+            MatchedPair(Arc(0, 3), Arc(4, 5)),
+        ]
+        with pytest.raises(BacktraceError, match="matched twice"):
+            verify_matching(s1, s2, pairs)
+
+    def test_order_violation_rejected(self, structures):
+        s1, s2 = structures
+        pairs = [
+            MatchedPair(Arc(0, 3), Arc(4, 5)),  # first arc before second...
+            MatchedPair(Arc(4, 5), Arc(0, 3)),  # ...but swapped in S2
+        ]
+        with pytest.raises(BacktraceError, match="disagree"):
+            verify_matching(s1, s2, pairs)
+
+    def test_nesting_violation_rejected(self, structures):
+        s1, s2 = structures
+        pairs = [
+            MatchedPair(Arc(0, 3), Arc(0, 3)),
+            MatchedPair(Arc(1, 2), Arc(4, 5)),  # nested in S1, sequential in S2
+        ]
+        with pytest.raises(BacktraceError, match="disagree"):
+            verify_matching(s1, s2, pairs)
+
+    def test_valid_matching_passes(self, structures):
+        s1, s2 = structures
+        pairs = [
+            MatchedPair(Arc(0, 3), Arc(0, 3)),
+            MatchedPair(Arc(1, 2), Arc(1, 2)),
+            MatchedPair(Arc(4, 5), Arc(4, 5)),
+        ]
+        assert verify_matching(s1, s2, pairs)

@@ -1,0 +1,61 @@
+"""Weighted backtrace: certificates for the Bafna-style variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backtrace import backtrace_weighted, verify_matching
+from repro.core.weighted import weighted_mcos
+from repro.core.weights import unit_weights
+from repro.errors import BacktraceError
+from repro.structure.dotbracket import from_dotbracket
+from tests.conftest import make_random_pair, structure_pairs
+
+
+class TestWeightedBacktrace:
+    def test_unit_weights_match_plain_certificate_size(self):
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        weights = unit_weights(a, b)
+        result = weighted_mcos(a, b, weights)
+        pairs = backtrace_weighted(result.memo, a, b, weights)
+        assert len(pairs) == 4
+        verify_matching(a, b, pairs)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_total_weight_equals_score(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=16)
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(0.1, 2.0, size=(s1.n_arcs, s2.n_arcs))
+        result = weighted_mcos(s1, s2, weights)
+        pairs = backtrace_weighted(result.memo, s1, s2, weights)
+        arc_index1 = {arc: k for k, arc in enumerate(s1.arcs)}
+        arc_index2 = {arc: k for k, arc in enumerate(s2.arcs)}
+        total = sum(
+            weights[arc_index1[p.arc1], arc_index2[p.arc2]] for p in pairs
+        )
+        assert total == pytest.approx(result.score)
+        verify_matching(s1, s2, pairs)
+
+    @given(structure_pairs(max_arcs=5), st.integers(0, 5000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_negative_weights(self, pair, seed):
+        """Certificates stay valid and weight-exact even when some weights
+        are negative (matches may be skipped)."""
+        s1, s2 = pair
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(-1.5, 1.5, size=(s1.n_arcs, s2.n_arcs))
+        result = weighted_mcos(s1, s2, weights)
+        pairs = backtrace_weighted(result.memo, s1, s2, weights)
+        verify_matching(s1, s2, pairs)
+        assert result.score >= 0.0
+
+    def test_stale_table_detected(self):
+        """A memo from different weights cannot explain the optimum."""
+        s = from_dotbracket("((()))")
+        weights_a = unit_weights(s, s)
+        weights_b = unit_weights(s, s) * 3.0
+        result = weighted_mcos(s, s, weights_a)
+        with pytest.raises(BacktraceError):
+            backtrace_weighted(result.memo, s, s, weights_b)

@@ -1,0 +1,81 @@
+"""Dense 4-D bottom-up reference tabulation."""
+
+import pytest
+
+from repro.core.dense import dense_mcos, dense_table
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import contrived_worst_case, sequential_arcs
+
+
+class TestDenseMcos:
+    def test_empty_inputs(self):
+        assert dense_mcos(Structure(0, ()), Structure(3, ())) == 0
+        assert dense_mcos(Structure(3, ()), Structure(0, ())) == 0
+
+    def test_arcless(self):
+        assert dense_mcos(Structure(4, ()), Structure(4, ())) == 0
+
+    def test_single_match(self):
+        s = from_dotbracket("(.)")
+        assert dense_mcos(s, s) == 1
+
+    def test_self_comparison_matches_all(self, zoo_structure):
+        assert dense_mcos(zoo_structure, zoo_structure) == zoo_structure.n_arcs
+
+    def test_paper_intro_example(self):
+        """Three nested then two nested vs two nested then three nested:
+        the paper's Section III example says the optimum is four."""
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        assert dense_mcos(a, b) == 4
+
+    def test_identical_ordering_gives_five(self):
+        """...and if the group order matches, the optimum is five."""
+        a = from_dotbracket("((()))(())")
+        assert dense_mcos(a, a) == 5
+
+    def test_nested_vs_sequential(self):
+        nested = contrived_worst_case(10)
+        flat = sequential_arcs(5)
+        assert dense_mcos(nested, flat) == 1
+        assert dense_mcos(flat, nested) == 1
+
+    def test_asymmetric_sizes(self):
+        a = from_dotbracket("((((()))))")
+        b = from_dotbracket("(())")
+        assert dense_mcos(a, b) == 2
+
+    def test_cell_limit(self):
+        s = contrived_worst_case(60)
+        with pytest.raises(MemoryError, match="dense table"):
+            dense_mcos(s, s, cell_limit=1000)
+
+
+class TestDenseTable:
+    def test_every_cell_monotone(self):
+        """F is monotone: growing either interval cannot reduce the score."""
+        s = from_dotbracket("((.)())")
+        table = dense_table(s, s)
+        n = s.length
+        for i1 in range(n):
+            for j1 in range(i1, n - 1):
+                assert (
+                    table[i1, j1, :, :] <= table[i1, j1 + 1, :, :]
+                ).all()
+
+    def test_diagonal_consistency(self):
+        """F(i, j, i, j) on the same structure equals the number of arcs
+        inside [i, j]."""
+        s = from_dotbracket("(())()")
+        table = dense_table(s, s)
+        for i in range(s.length):
+            for j in range(i, s.length):
+                inside = len(s.arc_indices_in(i, j))
+                assert table[i, j, i, j] == inside
+
+    def test_empty_interval_cells_zero(self):
+        s = from_dotbracket("(())")
+        table = dense_table(s, s)
+        assert table[3, 1, 0, 3] == 0
+        assert table[0, 3, 2, 0] == 0

@@ -1,0 +1,90 @@
+"""Co-optimal enumeration."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.backtrace import MatchedPair, backtrace, verify_matching
+from repro.core.enumerate import count_optima, enumerate_optima
+from repro.core.srna2 import srna2
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from tests.conftest import structure_pairs
+
+
+class TestHandCases:
+    def test_unique_identity(self):
+        s = from_dotbracket("(())")
+        optima = enumerate_optima(s, s)
+        assert len(optima) == 1
+        (matching,) = optima
+        assert len(matching) == 2
+        # Identity mapping: every arc matched with itself.
+        assert all(a == b for a, b in matching)
+
+    def test_two_ways_to_place_one_arc(self):
+        s1 = from_dotbracket("()()")
+        s2 = from_dotbracket("()")
+        optima = enumerate_optima(s1, s2)
+        assert len(optima) == 2
+
+    def test_arcless(self):
+        s = Structure(3, ())
+        assert enumerate_optima(s, s) == [frozenset()]
+
+    def test_empty(self):
+        assert enumerate_optima(Structure(0, ()), Structure(0, ())) == [
+            frozenset()
+        ]
+
+    def test_paper_example_multiplicity(self):
+        """The Section III example: 4 matched arcs, and the 'lost' arc can
+        be dropped from either group, giving multiple optima."""
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        optima = enumerate_optima(a, b)
+        assert all(len(matching) == 4 for matching in optima)
+        assert len(optima) >= 2
+
+    def test_limit(self):
+        s1 = from_dotbracket("()" * 5)
+        s2 = from_dotbracket("()")
+        assert count_optima(s1, s2) == 5
+        assert count_optima(s1, s2, limit=3) == 3
+
+    def test_invalid_limit(self):
+        s = from_dotbracket("()")
+        with pytest.raises(ValueError):
+            enumerate_optima(s, s, limit=0)
+
+
+class TestConsistency:
+    @given(structure_pairs(max_arcs=5))
+    @settings(max_examples=40, deadline=None)
+    def test_all_optima_valid_and_optimal(self, pair):
+        s1, s2 = pair
+        score = srna2(s1, s2).score
+        optima = enumerate_optima(s1, s2, limit=200)
+        assert optima  # at least one optimum always exists
+        for matching in optima:
+            assert len(matching) == score
+            pairs = [MatchedPair(a, b) for a, b in matching]
+            verify_matching(s1, s2, pairs)
+
+    @given(structure_pairs(max_arcs=5))
+    @settings(max_examples=30, deadline=None)
+    def test_backtrace_certificate_among_optima(self, pair):
+        s1, s2 = pair
+        run = srna2(s1, s2)
+        certificate = frozenset(
+            (p.arc1, p.arc2) for p in backtrace(run.memo, s1, s2)
+        )
+        optima = enumerate_optima(s1, s2, limit=500)
+        if len(optima) < 500:  # only exact enumerations must contain it
+            assert certificate in optima
+
+    @given(structure_pairs(max_arcs=4))
+    @settings(max_examples=30, deadline=None)
+    def test_distinctness(self, pair):
+        s1, s2 = pair
+        optima = enumerate_optima(s1, s2, limit=200)
+        assert len(set(optima)) == len(optima)

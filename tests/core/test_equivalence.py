@@ -1,0 +1,109 @@
+"""The flagship cross-implementation property suite.
+
+Five independent computations of the MCOS — dense 4-D bottom-up, memoized
+top-down, the forest-matching oracle, SRNA1 and SRNA2 (both engines) — must
+agree on every input, and the score must satisfy the problem's structural
+invariants (bounds, symmetry, self-comparison, monotonicity under arc
+deletion, additivity under concatenation).
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dense import dense_mcos
+from repro.core.oracle import oracle_mcos
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.core.topdown import topdown_mcos
+from repro.structure.arcs import Structure
+from tests.conftest import structure_pairs, structures
+
+
+def all_scores(s1: Structure, s2: Structure) -> list[int]:
+    return [
+        dense_mcos(s1, s2),
+        topdown_mcos(s1, s2),
+        oracle_mcos(s1, s2),
+        srna1(s1, s2).score,
+        srna2(s1, s2, engine="vectorized").score,
+        srna2(s1, s2, engine="python").score,
+    ]
+
+
+@given(structure_pairs(max_arcs=6))
+@settings(max_examples=120, deadline=None)
+def test_all_implementations_agree(pair):
+    s1, s2 = pair
+    scores = all_scores(s1, s2)
+    assert len(set(scores)) == 1, scores
+
+
+@given(structures(max_arcs=7))
+@settings(max_examples=80, deadline=None)
+def test_self_comparison_matches_everything(s: Structure):
+    """MCOS(S, S) == |S|: the identity mapping matches every arc."""
+    assert srna2(s, s).score == s.n_arcs
+
+
+@given(structure_pairs(max_arcs=6))
+@settings(max_examples=80, deadline=None)
+def test_symmetry(pair):
+    s1, s2 = pair
+    assert srna2(s1, s2).score == srna2(s2, s1).score
+
+
+@given(structure_pairs(max_arcs=6))
+@settings(max_examples=80, deadline=None)
+def test_bounds(pair):
+    s1, s2 = pair
+    score = srna2(s1, s2).score
+    assert 0 <= score <= min(s1.n_arcs, s2.n_arcs)
+    # Two non-empty arc sets always share at least a single arc.
+    if s1.n_arcs and s2.n_arcs:
+        assert score >= 1
+
+
+@given(structures(max_arcs=7))
+@settings(max_examples=60, deadline=None)
+def test_single_arc_deletion(s: Structure):
+    """Removing one arc from one side reduces the self-score by exactly 1."""
+    if s.n_arcs == 0:
+        return
+    reduced = s.without_arcs([0])
+    assert srna2(s, reduced).score == s.n_arcs - 1
+
+
+@given(structure_pairs(max_arcs=5))
+@settings(max_examples=60, deadline=None)
+def test_monotone_under_deletion(pair):
+    """Deleting arcs from S2 can never increase the score."""
+    s1, s2 = pair
+    base = srna2(s1, s2).score
+    for k in range(s2.n_arcs):
+        smaller = s2.without_arcs([k])
+        assert srna2(s1, smaller).score <= base
+
+
+@given(structure_pairs(max_arcs=4), structure_pairs(max_arcs=4))
+@settings(max_examples=40, deadline=None)
+def test_concatenation_superadditive(pair_a, pair_b):
+    """MCOS(A1+B1, A2+B2) >= MCOS(A1, A2) + MCOS(B1, B2): the two
+    certificates compose side by side."""
+    a1, a2 = pair_a
+    b1, b2 = pair_b
+    left = Structure.concatenate([a1, b1])
+    right = Structure.concatenate([a2, b2])
+    combined = srna2(left, right).score
+    assert combined >= srna2(a1, a2).score + srna2(b1, b2).score
+
+
+@given(structures(max_arcs=6))
+@settings(max_examples=40, deadline=None)
+def test_wrapping_adds_one(s: Structure):
+    """Wrapping both structures in one enclosing arc adds exactly 1 to the
+    self-score."""
+    wrapped = Structure(
+        s.length + 2,
+        [(0, s.length + 1)] + [(a.left + 1, a.right + 1) for a in s.arcs],
+    )
+    assert srna2(wrapped, wrapped).score == s.n_arcs + 1

@@ -1,0 +1,82 @@
+"""Instrumentation counters and stage timers."""
+
+import time
+
+from repro.core.instrument import Instrumentation, StageTimes
+
+
+class TestStageTimes:
+    def test_total(self):
+        times = StageTimes(preprocessing=1.0, stage_one=2.0, stage_two=1.0)
+        assert times.total == 4.0
+
+    def test_percentages(self):
+        times = StageTimes(preprocessing=1.0, stage_one=2.0, stage_two=1.0)
+        shares = times.percentages()
+        assert shares["stage_one"] == 50.0
+        assert sum(shares.values()) == 100.0
+
+    def test_percentages_zero_total(self):
+        assert StageTimes().percentages() == {
+            "preprocessing": 0.0,
+            "stage_one": 0.0,
+            "stage_two": 0.0,
+        }
+
+
+class TestInstrumentation:
+    def test_count_slice(self):
+        inst = Instrumentation()
+        inst.count_slice(10)
+        inst.count_slice(5)
+        assert inst.slices_tabulated == 2
+        assert inst.cells_tabulated == 15
+
+    def test_count_lookup(self):
+        inst = Instrumentation()
+        inst.count_lookup(hit=True)
+        inst.count_lookup(hit=False)
+        inst.count_lookup(hit=True)
+        assert inst.memo_lookups == 3
+        assert inst.memo_hits == 2
+
+    def test_recursion_depth_tracking(self):
+        inst = Instrumentation()
+        with inst.recursion():
+            with inst.recursion():
+                pass
+            with inst.recursion():
+                pass
+        assert inst.max_recursion_depth == 2
+        assert inst.spawns == 3
+        assert inst._recursion_depth == 0
+
+    def test_recursion_depth_restored_on_error(self):
+        inst = Instrumentation()
+        try:
+            with inst.recursion():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert inst._recursion_depth == 0
+
+    def test_stage_timer_accumulates(self):
+        inst = Instrumentation()
+        with inst.stage("stage_one"):
+            time.sleep(0.01)
+        with inst.stage("stage_one"):
+            time.sleep(0.01)
+        assert inst.stage_times.stage_one >= 0.02
+
+    def test_summary_keys(self):
+        inst = Instrumentation()
+        summary = inst.summary()
+        assert set(summary) >= {
+            "slices_tabulated",
+            "cells_tabulated",
+            "memo_lookups",
+            "memo_hits",
+            "spawns",
+            "max_recursion_depth",
+            "time_total",
+        }

@@ -1,0 +1,60 @@
+"""Independent forest-matching oracle."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dense import dense_mcos
+from repro.core.oracle import forest_shape, oracle_mcos
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from tests.conftest import structure_pairs
+
+
+class TestForestShape:
+    def test_empty(self):
+        assert forest_shape(Structure(5, ())) == ()
+
+    def test_positions_irrelevant(self):
+        a = from_dotbracket("(.)..(..)")
+        b = from_dotbracket("()()")
+        assert forest_shape(a) == forest_shape(b) == ((), ())
+
+    def test_nesting_captured(self):
+        assert forest_shape(from_dotbracket("(())")) == (((),),)
+
+
+class TestOracle:
+    def test_hand_cases(self):
+        cases = [
+            ("()", "()", 1),
+            ("()", "..", 0),
+            ("(())", "()()", 1),
+            ("()()", "(())", 1),
+            ("((()))(())", "(())((()))", 4),  # paper Section III example
+            ("((()))(())", "((()))(())", 5),
+            ("((((()))))", "(())", 2),
+            ("()()()", "()()", 2),
+            ("(()())", "(())", 2),
+            ("((})".replace("}", ")"), "()", 1),
+        ]
+        for a, b, expected in cases:
+            assert oracle_mcos(from_dotbracket(a), from_dotbracket(b)) == expected
+
+    def test_symmetry_hand(self):
+        a = from_dotbracket("((()))")
+        b = from_dotbracket("(()())")
+        assert oracle_mcos(a, b) == oracle_mcos(b, a)
+
+    @given(structure_pairs(max_arcs=5))
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_dense(self, pair):
+        """The decisive cross-check: a completely different decomposition
+        (forest deletion/matching vs interval recurrence) must agree."""
+        s1, s2 = pair
+        assert oracle_mcos(s1, s2) == dense_mcos(s1, s2)
+
+    @given(structure_pairs(max_arcs=5))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, pair):
+        s1, s2 = pair
+        assert oracle_mcos(s1, s2) == oracle_mcos(s2, s1)

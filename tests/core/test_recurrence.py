@@ -1,0 +1,78 @@
+"""Recurrence semantics: case decomposition and dependency labelling."""
+
+from repro.core.recurrence import Subproblem, dependencies, matched_arc, upper_bound
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+
+
+class TestSubproblem:
+    def test_empty(self):
+        assert Subproblem(2, 1, 0, 3).empty
+        assert Subproblem(0, 3, 3, 2).empty
+        assert not Subproblem(0, 3, 0, 3).empty
+
+    def test_slice_origin(self):
+        assert Subproblem(2, 5, 3, 7).slice_origin() == (2, 3)
+
+    def test_ordering(self):
+        assert Subproblem(0, 1, 0, 1) < Subproblem(0, 2, 0, 1)
+
+
+class TestMatchedArc:
+    def test_fires_on_closing_arcs(self):
+        s = from_dotbracket("(())")
+        sub = Subproblem(0, 3, 0, 3)
+        assert matched_arc(s, s, sub) == (0, 0)
+
+    def test_inner_arc(self):
+        s = from_dotbracket("(())")
+        sub = Subproblem(1, 2, 1, 2)
+        assert matched_arc(s, s, sub) == (1, 1)
+
+    def test_no_arc_at_j(self):
+        s = from_dotbracket("(().)")
+        # j1 = 3 is unpaired ('.') even though j2 = 4 closes arc (0, 4).
+        sub = Subproblem(0, 3, 0, 4)
+        assert matched_arc(s, s, sub) is None
+
+    def test_left_endpoint_outside_interval(self):
+        s = from_dotbracket("(..)")
+        sub = Subproblem(1, 3, 0, 3)  # k1 = 0 < i1 = 1
+        assert matched_arc(s, s, sub) is None
+
+    def test_empty_interval(self):
+        s = from_dotbracket("()")
+        assert matched_arc(s, s, Subproblem(1, 0, 0, 1)) is None
+
+    def test_mismatched_structures(self):
+        s1 = from_dotbracket("()")
+        s2 = from_dotbracket("..")
+        assert matched_arc(s1, s2, Subproblem(0, 1, 0, 1)) is None
+
+
+class TestDependencies:
+    def test_static_only(self):
+        s = from_dotbracket("..")
+        deps = dependencies(s, s, Subproblem(0, 1, 0, 1))
+        assert set(deps) == {"s1", "s2"}
+        assert deps["s1"] == Subproblem(0, 0, 0, 1)
+        assert deps["s2"] == Subproblem(0, 1, 0, 0)
+
+    def test_dynamic_cases(self):
+        s = from_dotbracket("(())")
+        deps = dependencies(s, s, Subproblem(0, 3, 0, 3))
+        assert set(deps) == {"s1", "s2", "d1", "d2"}
+        # Matched arc is (0, 3) on both sides: d1 empty-before, d2 under.
+        assert deps["d1"] == Subproblem(0, -1, 0, -1)
+        assert deps["d2"] == Subproblem(1, 2, 1, 2)
+        assert deps["d1"].empty
+        assert not deps["d2"].empty
+
+
+class TestUpperBound:
+    def test_min_of_arc_counts(self):
+        s1 = from_dotbracket("(())")
+        s2 = from_dotbracket("()()()")
+        assert upper_bound(s1, s2) == 2
+        assert upper_bound(s2, s1) == 2
+        assert upper_bound(s1, Structure(4, ())) == 0

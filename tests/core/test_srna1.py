@@ -1,0 +1,148 @@
+"""SRNA1: hybrid algorithm with lazy child-slice spawning."""
+
+import pytest
+
+from repro.core.dense import dense_mcos
+from repro.core.instrument import Instrumentation
+from repro.core.srna1 import srna1
+from repro.core.srna2 import srna2
+from repro.core.topdown import reachable_subproblems
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import (
+    comb_structure,
+    contrived_worst_case,
+    rna_like_structure,
+    sequential_arcs,
+)
+from tests.conftest import make_random_pair
+
+
+class TestCorrectness:
+    def test_empty(self):
+        assert srna1(Structure(0, ()), Structure(4, ())).score == 0
+
+    def test_self_comparison(self, zoo_structure):
+        assert srna1(zoo_structure, zoo_structure).score == zoo_structure.n_arcs
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_agrees_with_dense(self, seed):
+        s1, s2 = make_random_pair(seed)
+        assert srna1(s1, s2).score == dense_mcos(s1, s2)
+
+    def test_worst_case(self):
+        s = contrived_worst_case(80)
+        assert srna1(s, s).score == 40
+
+    def test_memo_matches_srna2_on_reachable_entries(self):
+        """Where SRNA1 memoized a slice, the value must equal SRNA2's."""
+        s = comb_structure(3, 4)
+        r1 = srna1(s, s)
+        r2 = srna2(s, s)
+        known = r1.memo.known
+        assert known is not None
+        mismatch = (r1.memo.values != r2.memo.values) & known
+        assert not mismatch.any()
+
+
+class TestPaperClaims:
+    def test_recursion_depth_never_exceeds_one(self):
+        """Section IV-A: 'the depth of recursive calls never exceeds one'."""
+        for structure in (
+            contrived_worst_case(60),
+            comb_structure(4, 6),
+            rna_like_structure(300, 70, seed=5),
+        ):
+            inst = Instrumentation()
+            srna1(structure, structure, instrumentation=inst)
+            assert inst.max_recursion_depth <= 1
+
+    def test_lazy_spawning_only_reachable_slices(self):
+        """SRNA1 memoizes only slice origins that the top-down dependency
+        graph actually reaches via a matched arc (exact tabulation)."""
+        s = from_dotbracket("((..))(()).")
+        inst = Instrumentation()
+        result = srna1(s, s, instrumentation=inst)
+        # Expected origins: every d2 dependency of a reachable subproblem
+        # (including empty child intervals, which SRNA1 memoizes as 0).
+        partner = s.partner
+        expected = set()
+        for (i1, j1, i2, j2) in reachable_subproblems(s, s):
+            k1 = int(partner[j1])
+            k2 = int(partner[j2])
+            if k1 != -1 and k2 != -1 and i1 <= k1 < j1 and i2 <= k2 < j2:
+                expected.add((k1 + 1, k2 + 1))
+        known = result.memo.known
+        assert known is not None
+        spawned = {(int(i), int(j)) for i, j in zip(*known.nonzero())}
+        # The driver also records the final score at the parent origin.
+        spawned.discard((0, 0))
+        assert spawned == expected
+
+    def test_memo_probes_counted(self):
+        s = contrived_worst_case(20)
+        inst = Instrumentation()
+        srna1(s, s, instrumentation=inst)
+        # One probe per (arc pair) cell across all tabulated slices.
+        assert inst.memo_lookups == inst.cells_tabulated
+        # Every distinct child origin misses exactly once.
+        misses = inst.memo_lookups - inst.memo_hits
+        assert misses == inst.spawns
+
+
+class TestNoMemoAblation:
+    def test_redundant_spawning_blows_up(self):
+        s = contrived_worst_case(12)  # 6 nested arcs
+        with_memo = Instrumentation()
+        srna1(s, s, memoize=True, instrumentation=with_memo)
+        without = Instrumentation()
+        result = srna1(s, s, memoize=False, instrumentation=without)
+        assert result.score == 6
+        assert without.spawns > with_memo.spawns
+
+    def test_guard_on_large_inputs(self):
+        s = contrived_worst_case(200)
+        with pytest.raises(MemoryError, match="memoize=False"):
+            srna1(s, s, memoize=False)
+
+    def test_no_memo_still_correct_small(self):
+        for text in ("(())()", "((()))", "()()"):
+            s = from_dotbracket(text)
+            assert srna1(s, s, memoize=False).score == s.n_arcs
+
+
+class TestMemoBackends:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_sparse_matches_dense(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=24)
+        dense = srna1(s1, s2, memo_backend="dense")
+        sparse = srna1(s1, s2, memo_backend="sparse")
+        assert sparse.score == dense.score
+
+    def test_sparse_stores_only_spawned(self):
+        s = contrived_worst_case(20)
+        result = srna1(s, s, memo_backend="sparse")
+        # 10 arcs self-compared: 100 child origins + the parent origin.
+        assert len(result.memo) == 101
+
+    def test_sparse_lookup_counts_match_dense(self):
+        s = comb_structure(3, 3)
+        dense_inst = Instrumentation()
+        srna1(s, s, memo_backend="dense", instrumentation=dense_inst)
+        sparse_inst = Instrumentation()
+        srna1(s, s, memo_backend="sparse", instrumentation=sparse_inst)
+        assert sparse_inst.memo_lookups == dense_inst.memo_lookups
+        assert sparse_inst.memo_hits == dense_inst.memo_hits
+
+    def test_unknown_backend(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(ValueError, match="memo_backend"):
+            srna1(s, s, memo_backend="quantum")
+
+
+class TestResultObject:
+    def test_int_conversion(self):
+        s = sequential_arcs(3)
+        result = srna1(s, s)
+        assert int(result) == 3
+        assert "score=3" in repr(result)

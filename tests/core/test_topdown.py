@@ -1,0 +1,73 @@
+"""Top-down memoized baseline: correctness and exact-tabulation accounting."""
+
+import pytest
+
+from repro.core.dense import dense_mcos
+from repro.core.instrument import Instrumentation
+from repro.core.topdown import reachable_subproblems, topdown_mcos
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import contrived_worst_case
+from tests.conftest import make_random_pair
+
+
+class TestTopdownMcos:
+    def test_empty(self):
+        assert topdown_mcos(Structure(0, ()), Structure(4, ())) == 0
+        assert topdown_mcos(Structure(4, ()), Structure(4, ())) == 0
+
+    def test_self_comparison(self, zoo_structure):
+        assert (
+            topdown_mcos(zoo_structure, zoo_structure)
+            == zoo_structure.n_arcs
+        )
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_agrees_with_dense(self, seed):
+        s1, s2 = make_random_pair(seed)
+        assert topdown_mcos(s1, s2) == dense_mcos(s1, s2)
+
+    def test_deep_structure_no_recursion_error(self):
+        """The explicit work stack must survive dependency chains longer
+        than Python's default recursion limit (the s1/s2 chain of a long
+        sequential structure steps one position at a time)."""
+        from repro.structure.generators import sequential_arcs
+
+        s = sequential_arcs(600)  # static-dependency chains ~2400 deep
+        assert topdown_mcos(s, s) == 600
+
+    def test_subproblem_guard(self):
+        s = contrived_worst_case(40)
+        with pytest.raises(MemoryError, match="memo table exceeded"):
+            topdown_mcos(s, s, max_subproblems=100)
+
+    def test_instrumentation_counts(self):
+        s = from_dotbracket("(())")
+        inst = Instrumentation()
+        topdown_mcos(s, s, instrumentation=inst)
+        assert inst.memo_lookups > 0
+        assert inst.cells_tabulated > 0
+
+
+class TestReachableSubproblems:
+    def test_empty(self):
+        assert reachable_subproblems(Structure(0, ()), Structure(0, ())) == set()
+
+    def test_root_included(self):
+        s = from_dotbracket("()")
+        reachable = reachable_subproblems(s, s)
+        assert (0, 1, 0, 1) in reachable
+
+    def test_exact_tabulation_smaller_than_full_table(self):
+        """The point of the top-down approach: reachable subproblems are a
+        strict subset of the n^2 m^2 table on structured inputs."""
+        s = from_dotbracket("((..))..")
+        reachable = reachable_subproblems(s, s)
+        full = (s.length * (s.length + 1) // 2) ** 2
+        assert 0 < len(reachable) < full
+
+    def test_matched_arcs_reach_child_slices(self):
+        s = from_dotbracket("(())")
+        reachable = reachable_subproblems(s, s)
+        # Matching the outer arcs spawns the slice under them.
+        assert (1, 2, 1, 2) in reachable

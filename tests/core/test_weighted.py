@@ -1,0 +1,134 @@
+"""Weighted (Bafna-style) variant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.srna2 import srna2
+from repro.core.weighted import weighted_dense, weighted_mcos
+from repro.core.weights import (
+    base_pair_weights,
+    span_weights,
+    unit_weights,
+    weight_matrix,
+)
+from repro.errors import StructureError
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from tests.conftest import make_random_pair, structure_pairs
+
+
+class TestDegeneration:
+    """With unit weights the variant must equal plain MCOS exactly."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_unit_weights_equal_mcos(self, seed):
+        s1, s2 = make_random_pair(seed)
+        result = weighted_mcos(s1, s2, unit_weights(s1, s2))
+        assert result.score == srna2(s1, s2).score
+
+    def test_paper_example(self):
+        a = from_dotbracket("((()))(())")
+        b = from_dotbracket("(())((()))")
+        assert weighted_mcos(a, b, unit_weights(a, b)).score == 4.0
+
+
+class TestAgainstDenseReference:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_weights(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=14)
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(-1.0, 3.0, size=(s1.n_arcs, s2.n_arcs))
+        fast = weighted_mcos(s1, s2, weights).score
+        dense = weighted_dense(s1, s2, weights)
+        assert fast == pytest.approx(dense)
+
+    @given(structure_pairs(max_arcs=5), st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_property(self, pair, seed):
+        s1, s2 = pair
+        rng = np.random.default_rng(seed)
+        weights = rng.uniform(-2.0, 2.0, size=(s1.n_arcs, s2.n_arcs))
+        assert weighted_mcos(s1, s2, weights).score == pytest.approx(
+            weighted_dense(s1, s2, weights)
+        )
+
+
+class TestWeightSemantics:
+    def test_score_scales_linearly(self):
+        s1, s2 = make_random_pair(4, max_len=16)
+        weights = unit_weights(s1, s2) * 2.5
+        assert weighted_mcos(s1, s2, weights).score == pytest.approx(
+            2.5 * srna2(s1, s2).score
+        )
+
+    def test_all_negative_weights_give_zero(self):
+        """The empty substructure (score 0) always remains available."""
+        s = from_dotbracket("((()))")
+        weights = -np.ones((3, 3))
+        assert weighted_mcos(s, s, weights).score == 0.0
+
+    def test_negative_weights_can_be_worth_taking(self):
+        """A negative arc may still pay for itself by unlocking a nested
+        group: outer arc weight -1, two inner arcs weight +3 each, but the
+        inner arcs only match together if order/nesting is consistent."""
+        s = from_dotbracket("(())")
+        # arcs right-endpoint order: inner (1,2) index 0, outer (0,3) idx 1.
+        weights = np.array([[3.0, 0.0], [0.0, -1.0]])
+        # Matching both: 3 + (-1) = 2; matching only the inner: 3.
+        assert weighted_mcos(s, s, weights).score == 3.0
+        weights_big_inner = np.array([[0.5, 0.0], [0.0, -1.0]])
+        # Now inner alone (0.5) beats inner+outer (-0.5).
+        assert weighted_mcos(s, s, weights_big_inner).score == 0.5
+
+    def test_selective_weights_steer_matching(self):
+        """Zero out the diagonal: the optimum must avoid matching an arc
+        with itself."""
+        s = from_dotbracket("()()")
+        weights = np.array([[0.0, 1.0], [1.0, 0.0]])
+        # Arcs are sequential; matching arc0->arc1 forbids arc1->arc0
+        # (order violation), so only one cross match fits.
+        assert weighted_mcos(s, s, weights).score == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        s1, s2 = make_random_pair(1)
+        with pytest.raises(StructureError, match="weight matrix shape"):
+            weighted_mcos(s1, s2, np.ones((1 + s1.n_arcs, s2.n_arcs)))
+
+
+class TestWeightBuilders:
+    def test_weight_matrix_fn(self):
+        s = from_dotbracket("(())")
+        matrix = weight_matrix(s, s, lambda a, b: a.span() + b.span())
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 0.0  # inner arc (1,2): span 0
+        assert matrix[1, 1] == 4.0  # outer arc (0,3): span 2
+
+    def test_base_pair_weights(self):
+        s1 = from_dotbracket("(.)", sequence="GAC")  # GC: watson-crick
+        s2 = from_dotbracket("(.)", sequence="GAU")  # GU: wobble
+        s3 = from_dotbracket("(.)", sequence="AAG")  # AG: non-canonical
+        assert base_pair_weights(s1, s1)[0, 0] == 2.0  # same class
+        assert base_pair_weights(s1, s2)[0, 0] == 1.0  # WC vs wobble
+        assert base_pair_weights(s1, s3)[0, 0] == 0.5  # other
+
+    def test_base_pair_weights_need_sequences(self):
+        s = from_dotbracket("()")
+        with pytest.raises(StructureError, match="sequences"):
+            base_pair_weights(s, s)
+
+    def test_span_weights(self):
+        s1 = from_dotbracket("(...)")
+        s2 = from_dotbracket("(.)")
+        matrix = span_weights(s1, s2)
+        assert matrix[0, 0] == pytest.approx(1.0 / 3.0)  # spans 3 vs 1
+        assert span_weights(s1, s1)[0, 0] == 1.0
+
+    def test_weighted_self_comparison_with_base_weights(self):
+        seq = "GGGAAACCCU"
+        s = from_dotbracket("(((...))).", sequence=seq)
+        weights = base_pair_weights(s, s)
+        result = weighted_mcos(s, s, weights)
+        # Identity matching scores same-class for every arc.
+        assert result.score == pytest.approx(weights.diagonal().sum())

@@ -1,0 +1,42 @@
+"""Efficiency decomposition experiment."""
+
+import pytest
+
+from repro.experiments import efficiency
+
+
+class TestEfficiencyDecomposition:
+    @pytest.fixture(scope="class")
+    def record(self):
+        return efficiency.run(scale="quick")
+
+    def test_shares_sum_to_one(self, record):
+        for row in record.rows:
+            total = (
+                row["compute_share"]
+                + row["contention_share"]
+                + row["sync_share"]
+            )
+            assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_small_problem_more_sync_bound(self, record):
+        """At P=64 the 800-arc problem loses far more to synchronization
+        than the 1600-arc problem — the quantitative Figure 8 story."""
+        at64 = {
+            row["problem"]: row
+            for row in record.rows
+            if row["n_ranks"] == 64
+        }
+        assert at64["800 arcs"]["sync_share"] > 3 * at64["1600 arcs"]["sync_share"]
+
+    def test_contention_kicks_in_beyond_one_rank_per_node(self, record):
+        for row in record.rows:
+            if row["n_ranks"] <= 8:  # one rank per node: no sharing
+                assert row["contention_share"] == pytest.approx(0.0)
+            else:
+                assert row["contention_share"] > 0.0
+
+    def test_shares_are_probabilities(self, record):
+        for row in record.rows:
+            for key in ("compute_share", "contention_share", "sync_share"):
+                assert 0.0 <= row[key] <= 1.0

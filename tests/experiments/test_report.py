@@ -1,0 +1,45 @@
+"""Experiment records and report serialization."""
+
+import json
+
+from repro.experiments.report import ExperimentRecord, ExperimentReport
+
+
+def _record(name="table1") -> ExperimentRecord:
+    return ExperimentRecord(
+        experiment=name,
+        paper_reference="Table I",
+        parameters={"scale": "quick"},
+        rows=[{"length": 100, "seconds": 0.1}],
+        rendered="a table",
+        notes="a note",
+    )
+
+
+class TestExperimentReport:
+    def test_render_includes_all_records(self):
+        report = ExperimentReport()
+        report.add(_record("table1"))
+        report.add(_record("table3"))
+        text = report.render()
+        assert text.count("a table") == 2
+        assert "Table I (table1)" in text
+
+    def test_json_round_trip(self):
+        report = ExperimentReport()
+        report.add(_record())
+        payload = json.loads(report.to_json())
+        assert payload["experiments"][0]["experiment"] == "table1"
+        assert payload["experiments"][0]["rows"][0]["length"] == 100
+        assert "python" in payload["environment"]
+
+    def test_save(self, tmp_path):
+        report = ExperimentReport()
+        report.add(_record())
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        assert json.loads(path.read_text())["experiments"]
+
+    def test_environment_metadata(self):
+        env = ExperimentReport().environment()
+        assert {"repro_version", "python", "platform", "cpu_count"} <= set(env)

@@ -1,0 +1,42 @@
+"""Experiment runner CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import RUNNERS, main
+
+
+class TestRunnerCli:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["no-such-thing"])
+
+    def test_runs_single_experiment(self, capsys):
+        assert main(["figure8", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["figure8", "--scale", "quick", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["experiments"][0]["experiment"] == "figure8"
+        assert "environment" in payload
+
+    def test_duplicates_collapsed(self, capsys):
+        assert main(["figure8", "figure8", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Figure 8: PRNA speedup") == 1
+
+    def test_all_registered_runners_have_names(self):
+        assert set(RUNNERS) == {
+            "table1", "table2", "table3", "figure8",
+            "ablations", "space", "verify", "efficiency",
+        }
+
+    def test_verify_runner(self, capsys):
+        assert main(["verify", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction self-check" in out
+        assert "FAIL" not in out.replace("PASS/FAIL", "")

@@ -1,0 +1,94 @@
+"""Cluster specification and communication cost model."""
+
+import math
+
+import pytest
+
+from repro.mpi.costmodel import ClusterSpec, CostModel, DEFAULT_CLUSTER
+
+
+class TestClusterSpec:
+    def test_defaults_match_fundy_calibration(self):
+        assert DEFAULT_CLUSTER.max_ranks == 64  # paper used up to 64 procs
+
+    def test_round_robin_placement(self):
+        spec = ClusterSpec(cores_per_node=2, n_nodes=4)
+        assert spec.ranks_per_node(4) == [1, 1, 1, 1]
+        assert spec.ranks_per_node(6) == [2, 2, 1, 1]
+        assert spec.ranks_per_node(0) == [0, 0, 0, 0]
+
+    def test_node_of_rank(self):
+        spec = ClusterSpec(n_nodes=4)
+        assert [spec.node_of_rank(r) for r in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_negative_ranks(self):
+        with pytest.raises(ValueError):
+            ClusterSpec().ranks_per_node(-1)
+
+    def test_contention_free_when_spread(self):
+        spec = ClusterSpec(cores_per_node=8, n_nodes=8, contention=0.2)
+        for rank in range(8):
+            assert spec.contention_factor(rank, 8) == 1.0
+
+    def test_contention_when_packed(self):
+        spec = ClusterSpec(cores_per_node=8, n_nodes=8, contention=0.1)
+        # 64 ranks -> 8 per node -> factor 1 + 0.1 * 7.
+        assert spec.contention_factor(0, 64) == pytest.approx(1.7)
+
+    def test_contention_uneven(self):
+        spec = ClusterSpec(cores_per_node=4, n_nodes=2, contention=0.5)
+        # 3 ranks -> node 0 has 2, node 1 has 1.
+        assert spec.contention_factor(0, 3) == pytest.approx(1.5)
+        assert spec.contention_factor(1, 3) == 1.0
+
+
+class TestCostModel:
+    @pytest.fixture
+    def model(self) -> CostModel:
+        return CostModel(
+            ClusterSpec(alpha=1e-4, beta=1e-9, sync_overhead=1e-3)
+        )
+
+    def test_p2p(self, model):
+        assert model.p2p(1000) == pytest.approx(1e-4 + 1e-6)
+
+    def test_single_rank_collectives_free(self, model):
+        assert model.barrier(1) == 0.0
+        assert model.bcast(1, 100) == 0.0
+        assert model.allreduce(1, 100) == 0.0
+
+    def test_barrier_log_rounds(self, model):
+        assert model.barrier(8) == pytest.approx(1e-3 + 3 * 1e-4)
+        assert model.barrier(5) == pytest.approx(1e-3 + 3 * 1e-4)  # ceil(log2 5)=3
+
+    def test_allreduce_algorithms_ordering(self, model):
+        """For small messages at high P, recursive doubling beats linear."""
+        nbytes = 1000
+        rd = model.allreduce(16, nbytes, "recursive_doubling")
+        lin = model.allreduce(16, nbytes, "linear")
+        assert rd < lin
+
+    def test_allreduce_ring_bandwidth_optimal_large(self, model):
+        """For large buffers, ring moves ~2 beta m vs rd's log P beta m."""
+        nbytes = 100_000_000
+        ring = model.allreduce(16, nbytes, "ring")
+        rd = model.allreduce(16, nbytes, "recursive_doubling")
+        assert ring < rd
+
+    def test_unknown_algorithm(self, model):
+        with pytest.raises(ValueError, match="unknown allreduce"):
+            model.allreduce(4, 100, "telepathy")
+
+    def test_compute_inflation(self):
+        model = CostModel(
+            ClusterSpec(cores_per_node=2, n_nodes=1, contention=0.5)
+        )
+        assert model.compute(0, 2, 10.0) == pytest.approx(15.0)
+        assert model.compute(0, 1, 10.0) == 10.0
+
+    def test_costs_scale_with_log_p(self, model):
+        costs = [model.allreduce(p, 1024) for p in (2, 4, 8, 16)]
+        diffs = [b - a for a, b in zip(costs, costs[1:])]
+        # One extra round per doubling.
+        assert all(d == pytest.approx(diffs[0]) for d in diffs)
+        assert math.isclose(diffs[0], model.p2p(1024))

@@ -1,0 +1,47 @@
+"""Reduction operators and message envelopes."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.datatypes import Message, ReduceOp, apply_op
+
+
+class TestApplyOp:
+    def test_scalar_ops(self):
+        assert apply_op(ReduceOp.MAX, 3, 5) == 5
+        assert apply_op(ReduceOp.MIN, 3, 5) == 3
+        assert apply_op(ReduceOp.SUM, 3, 5) == 8
+        assert apply_op(ReduceOp.PROD, 3, 5) == 15
+
+    def test_array_ops(self):
+        a = np.array([1, 5, 2])
+        b = np.array([4, 3, 2])
+        assert apply_op(ReduceOp.MAX, a, b).tolist() == [4, 5, 2]
+        assert apply_op(ReduceOp.SUM, a, b).tolist() == [5, 8, 4]
+
+    def test_array_in_place(self):
+        a = np.array([1, 5])
+        out = apply_op(ReduceOp.MAX, a, np.array([2, 2]), out=a)
+        assert out is a
+        assert a.tolist() == [2, 5]
+
+    def test_mixed_scalar_array(self):
+        a = np.array([1, 5])
+        assert apply_op(ReduceOp.MAX, a, 3).tolist() == [3, 5]
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("op", list(ReduceOp))
+    def test_identity_is_neutral_int(self, op):
+        ident = op.identity(np.dtype(np.int64))
+        for value in (-3, 0, 7):
+            assert apply_op(op, value, ident) == value
+
+    def test_identity_float_max(self):
+        assert ReduceOp.MAX.identity(np.dtype(np.float64)) == -np.inf
+
+
+class TestMessage:
+    def test_fields(self):
+        msg = Message(source=0, dest=1, tag=7, payload="x")
+        assert (msg.source, msg.dest, msg.tag, msg.payload) == (0, 1, 7, "x")

@@ -1,0 +1,73 @@
+"""mpi4py adapter.
+
+The adapter itself is exercised only where mpi4py exists (it does not in
+the offline reproduction environment — those tests skip).  The
+clear-error path for a missing mpi4py runs everywhere.
+"""
+
+import pytest
+
+from repro.errors import CommunicatorError
+
+
+@pytest.fixture
+def world():
+    pytest.importorskip("mpi4py")
+    from mpi4py import MPI
+
+    from repro.mpi.mpi4py_adapter import MPI4PyCommunicator
+
+    return MPI4PyCommunicator(MPI.COMM_WORLD)
+
+
+class TestAdapterSingleRank:
+    def test_identity(self, world):
+        assert world.size >= 1
+        assert 0 <= world.rank < world.size
+
+    def test_collectives(self, world):
+        import numpy as np
+
+        from repro.mpi.datatypes import ReduceOp
+
+        if world.size != 1:
+            pytest.skip("single-process validation only under pytest")
+        assert world.bcast("x", root=0) == "x"
+        assert world.allgather(world.rank) == [0]
+        buf = np.array([3, 1], dtype=np.int64)
+        world.Allreduce(buf, ReduceOp.MAX)
+        assert buf.tolist() == [3, 1]
+        world.barrier()
+
+    def test_prna_runs_over_adapter(self, world):
+        if world.size != 1:
+            pytest.skip("single-process validation only under pytest")
+        from repro.core.srna2 import srna2
+        from repro.parallel.prna import prna_rank
+        from repro.structure.generators import contrived_worst_case
+
+        s = contrived_worst_case(30)
+        result = prna_rank(world, s, s)
+        assert result.score == srna2(s, s).score
+
+    def test_send_to_self_rejected(self, world):
+        with pytest.raises(CommunicatorError):
+            world.send("x", world.rank)
+
+
+def test_missing_mpi4py_message(monkeypatch):
+    """Without mpi4py the adapter must fail with a clear message."""
+    import builtins
+
+    real_import = builtins.__import__
+
+    def fake_import(name, *args, **kwargs):
+        if name.startswith("mpi4py"):
+            raise ImportError("no mpi4py")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", fake_import)
+    from repro.mpi import mpi4py_adapter
+
+    with pytest.raises(CommunicatorError, match="mpi4py is not installed"):
+        mpi4py_adapter._load_mpi()

@@ -1,0 +1,92 @@
+"""Nonblocking point-to-point (isend/irecv/Request)."""
+
+import time
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi.communicator import Request, SelfCommunicator
+from repro.mpi.inprocess import run_threaded
+from repro.mpi.process import run_multiprocess
+
+
+def _isend_irecv_probe(comm):
+    if comm.rank == 0:
+        request = comm.isend({"payload": 42}, dest=1, tag=9)
+        assert request.wait() is None
+        done, _ = request.test()
+        assert done
+        return None
+    request = comm.irecv(source=0, tag=9)
+    return request.wait()
+
+
+def _test_polling_probe(comm):
+    if comm.rank == 0:
+        time.sleep(0.05)
+        comm.isend("late", dest=1, tag=4)
+        return None
+    request = comm.irecv(source=0, tag=4)
+    polls = 0
+    while True:
+        done, value = request.test()
+        if done:
+            return (polls, value)
+        polls += 1
+        time.sleep(0.005)
+
+
+class TestThreadBackend:
+    def test_isend_irecv(self):
+        out = run_threaded(_isend_irecv_probe, 2)
+        assert out[1] == {"payload": 42}
+
+    def test_test_polls_until_arrival(self):
+        out = run_threaded(_test_polling_probe, 2)
+        polls, value = out[1]
+        assert value == "late"
+        assert polls >= 0
+
+    def test_irecv_bad_source(self):
+        def fn(comm):
+            comm.irecv(source=99)
+
+        with pytest.raises(CommunicatorError, match="source"):
+            run_threaded(fn, 2)
+
+    def test_out_of_order_completion(self):
+        """Two outstanding irecvs complete independently of post order."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send("first", 1, tag=1)
+                comm.send("second", 1, tag=2)
+                return None
+            req2 = comm.irecv(0, tag=2)
+            req1 = comm.irecv(0, tag=1)
+            return (req2.wait(), req1.wait())
+
+        out = run_threaded(fn, 2)
+        assert out[1] == ("second", "first")
+
+
+class TestProcessBackend:
+    def test_isend_irecv(self):
+        out = run_multiprocess(_isend_irecv_probe, 2)
+        assert out[1] == {"payload": 42}
+
+    def test_test_polling(self):
+        out = run_multiprocess(_test_polling_probe, 2)
+        assert out[1][1] == "late"
+
+
+class TestRequestObject:
+    def test_completed_request(self):
+        request = Request.completed("v")
+        assert request.wait() == "v"
+        assert request.test() == (True, "v")
+
+    def test_self_communicator_has_no_nonblocking_peers(self):
+        comm = SelfCommunicator()
+        with pytest.raises(CommunicatorError):
+            comm.irecv(5)

@@ -1,0 +1,52 @@
+"""Lock-free randomized top-down baseline."""
+
+import pytest
+
+from repro.core.srna2 import srna2
+from repro.errors import SimulationError
+from repro.parallel.lockfree import lockfree_mcos
+from repro.structure.arcs import Structure
+from repro.structure.generators import comb_structure, contrived_worst_case
+from tests.conftest import make_random_pair
+
+
+class TestCorrectness:
+    def test_empty(self):
+        stats = lockfree_mcos(Structure(0, ()), Structure(4, ()))
+        assert stats.score == 0
+        assert stats.redundancy == 1.0
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_matches_srna2(self, workers):
+        s = comb_structure(3, 3)
+        stats = lockfree_mcos(s, s, n_workers=workers)
+        assert stats.score == srna2(s, s).score == 9
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_pairs(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=24)
+        stats = lockfree_mcos(s1, s2, n_workers=3, seed=seed)
+        assert stats.score == srna2(s1, s2).score
+
+    def test_invalid_workers(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(SimulationError):
+            lockfree_mcos(s, s, n_workers=0)
+
+    def test_memo_guard(self):
+        s = contrived_worst_case(60)
+        with pytest.raises(MemoryError):
+            lockfree_mcos(s, s, max_subproblems=50)
+
+
+class TestAccounting:
+    def test_redundancy_at_least_one(self):
+        s = contrived_worst_case(30)
+        stats = lockfree_mcos(s, s, n_workers=4)
+        assert stats.redundancy >= 1.0
+        assert stats.total_evaluations >= stats.distinct_subproblems > 0
+
+    def test_single_worker_no_redundancy(self):
+        s = comb_structure(2, 3)
+        stats = lockfree_mcos(s, s, n_workers=1)
+        assert stats.redundancy == 1.0

@@ -1,0 +1,96 @@
+"""Manager-worker dynamic load balancing (the HiCOMB-style contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.core.srna2 import srna2
+from repro.errors import SimulationError
+from repro.mpi.inprocess import run_threaded
+from repro.parallel.managerworker import (
+    manager_worker_rank,
+    simulate_manager_worker,
+)
+from repro.parallel.simulator import PRNASimulator
+from repro.structure.generators import contrived_worst_case, rna_like_structure
+from tests.conftest import make_random_pair
+
+
+def _run(s1, s2, size):
+    def fn(comm):
+        return manager_worker_rank(comm, s1, s2)
+
+    return run_threaded(fn, size)
+
+
+class TestCorrectness:
+    def test_single_rank_degenerates_to_srna2(self):
+        s = contrived_worst_case(30)
+        out = _run(s, s, 1)
+        ref = srna2(s, s)
+        assert out[0].score == ref.score
+        assert np.array_equal(out[0].memo.values, ref.memo.values)
+
+    @pytest.mark.parametrize("size", [2, 3, 4])
+    def test_matches_srna2_worst_case(self, size):
+        s = contrived_worst_case(30)
+        ref = srna2(s, s)
+        out = _run(s, s, size)
+        for result in out:
+            assert result.score == ref.score
+        assert np.array_equal(out[0].memo.values, ref.memo.values)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_structures(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=28)
+        ref = srna2(s1, s2)
+        out = _run(s1, s2, 3)
+        assert out[0].score == ref.score
+
+    def test_rna_like(self):
+        s = rna_like_structure(100, 22, seed=44)
+        out = _run(s, s, 3)
+        assert out[0].score == 22
+
+    def test_work_is_actually_distributed(self):
+        s = contrived_worst_case(40)
+        out = _run(s, s, 3)
+        manager, *workers = out
+        assert manager.tasks_computed == 0  # the manager only coordinates
+        total = sum(w.tasks_computed for w in workers)
+        assert total == s.n_arcs ** 2
+        # Dynamic assignment: nobody is starved on a uniform workload.
+        assert all(w.tasks_computed > 0 for w in workers)
+
+    def test_bad_engine(self):
+        s = contrived_worst_case(10)
+
+        def fn(comm):
+            return manager_worker_rank(comm, s, s, engine="abacus")
+
+        with pytest.raises(ValueError, match="engine"):
+            run_threaded(fn, 2)
+
+
+class TestSimulatedTradeoff:
+    def test_static_beats_dynamic_at_scale(self):
+        """Section II's claim: the manager-worker scheme's 'speedup is
+        limited' relative to PRNA's static partition at high P."""
+        s = contrived_worst_case(3200)
+        static = PRNASimulator().simulate(s, s, 64).speedup
+        dynamic = simulate_manager_worker(s, s, 64)
+        assert dynamic < static
+
+    def test_dynamic_loses_a_rank(self):
+        """At P=2 the manager-worker scheme has one compute rank, so its
+        speedup cannot reach 2."""
+        s = contrived_worst_case(1600)
+        assert simulate_manager_worker(s, s, 2) < 1.2
+
+    def test_single_rank(self):
+        s = contrived_worst_case(100)
+        assert simulate_manager_worker(s, s, 1) == 1.0
+
+    def test_invalid_ranks(self):
+        s = contrived_worst_case(100)
+        with pytest.raises(SimulationError):
+            simulate_manager_worker(s, s, 0)

@@ -1,0 +1,172 @@
+"""PRNA: equivalence with SRNA2, synchronization modes, failure injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.srna2 import srna2
+from repro.errors import CommunicatorError, SimulationError
+from repro.mpi.costmodel import CostModel
+from repro.parallel.prna import prna, prna_rank
+from repro.structure.generators import (
+    comb_structure,
+    contrived_worst_case,
+    rna_like_structure,
+)
+from tests.conftest import make_random_pair
+
+
+class TestEquivalenceWithSRNA2:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 5])
+    @pytest.mark.parametrize("partitioner", ["greedy", "block", "cyclic"])
+    def test_worst_case_tables_identical(self, n_ranks, partitioner):
+        s = contrived_worst_case(40)
+        ref = srna2(s, s)
+        result = prna(
+            s, s, n_ranks, backend="thread", partitioner=partitioner,
+            validate=True,
+        )
+        assert result.score == ref.score
+        assert np.array_equal(result.memo.values, ref.memo.values)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_structures(self, seed):
+        s1, s2 = make_random_pair(seed, max_len=36)
+        ref = srna2(s1, s2)
+        result = prna(s1, s2, 3, backend="thread", validate=True)
+        assert result.score == ref.score
+        assert np.array_equal(result.memo.values, ref.memo.values)
+
+    def test_rna_like(self):
+        s = rna_like_structure(160, 35, seed=21)
+        ref = srna2(s, s)
+        result = prna(s, s, 4, backend="thread")
+        assert result.score == ref.score == 35
+
+    def test_self_backend_is_srna2(self):
+        s = comb_structure(3, 4)
+        ref = srna2(s, s)
+        result = prna(s, s, 1, backend="self")
+        assert result.score == ref.score
+        assert np.array_equal(result.memo.values, ref.memo.values)
+
+    def test_process_backend(self):
+        s = contrived_worst_case(36)
+        result = prna(s, s, 2, backend="process", validate=True)
+        assert result.score == 18
+
+    def test_python_engine(self):
+        s = comb_structure(2, 3)
+        result = prna(s, s, 2, backend="thread", engine="python")
+        assert result.score == 6
+
+
+class TestSyncModes:
+    def test_pair_sync_correct(self):
+        s = contrived_worst_case(24)
+        result = prna(s, s, 2, backend="thread", sync_mode="pair",
+                      validate=True)
+        assert result.score == 12
+
+    def test_deferred_sync_wrong_and_detected(self):
+        """Skipping the per-row Allreduce makes ranks read stale zeros;
+        validation must catch the divergent tables."""
+        s = contrived_worst_case(30)
+        with pytest.raises(CommunicatorError, match="diverged"):
+            prna(s, s, 3, backend="thread", sync_mode="deferred",
+                 validate=True)
+
+    def test_deferred_sync_single_rank_harmless(self):
+        """With one rank there is nothing to synchronize."""
+        s = contrived_worst_case(20)
+        result = prna(s, s, 1, backend="thread", sync_mode="deferred",
+                      validate=True)
+        assert result.score == 10
+
+    def test_unknown_sync_mode(self):
+        s = comb_structure(2, 2)
+        with pytest.raises(ValueError, match="sync_mode"):
+            prna(s, s, 1, sync_mode="psychic")
+
+
+class TestParameterValidation:
+    def test_bad_backend(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(ValueError, match="backend"):
+            prna(s, s, 1, backend="quantum")
+
+    def test_bad_rank_count(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(SimulationError):
+            prna(s, s, 0)
+
+    def test_self_backend_multi_rank(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(SimulationError, match="exactly one"):
+            prna(s, s, 2, backend="self")
+
+    def test_bad_partitioner(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(ValueError, match="partitioner"):
+            prna(s, s, 1, partitioner="astrology")
+
+    def test_bad_engine(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(ValueError, match="engine"):
+            prna(s, s, 1, engine="abacus")
+
+    def test_bad_charge(self):
+        s = comb_structure(1, 1)
+        with pytest.raises(ValueError, match="charge"):
+            prna(s, s, 1, charge="credit-card")
+
+
+class TestVirtualTime:
+    def test_analytic_charging_produces_times(self):
+        s = contrived_worst_case(60)
+        cost_model = CostModel()
+        result = prna(
+            s, s, 2, backend="thread", charge="analytic",
+            cost_model=cost_model,
+        )
+        assert result.simulated_time is not None
+        assert result.simulated_time > 0
+
+    def test_measured_charging(self):
+        s = contrived_worst_case(40)
+        result = prna(
+            s, s, 2, backend="thread", charge="measured",
+            cost_model=CostModel(),
+        )
+        assert result.simulated_time is not None
+        assert result.simulated_time > 0
+
+    def test_more_ranks_less_virtual_time(self):
+        """Analytic virtual time must drop when ranks are added, once the
+        modelled synchronization cost is small relative to compute.  (With
+        the default cluster's ~10 ms per-row sync, a 60-arc problem is
+        genuinely too small to scale — the flip side of Figure 8's
+        larger-problems-scale-better trend — so this test uses a
+        near-free network.)"""
+        from repro.mpi.costmodel import ClusterSpec
+
+        s = contrived_worst_case(120)
+        cost_model = CostModel(
+            ClusterSpec(alpha=1e-7, beta=1e-10, sync_overhead=1e-6)
+        )
+        times = {}
+        for p in (1, 4):
+            result = prna(
+                s, s, p, backend="thread", charge="analytic",
+                cost_model=cost_model,
+            )
+            times[p] = result.simulated_time
+        assert times[4] < times[1]
+
+
+class TestPartitionExposure:
+    def test_result_carries_partition(self):
+        s = contrived_worst_case(30)
+        result = prna(s, s, 3, backend="thread")
+        assert result.partition.n_ranks == 3
+        assert result.partition.n_tasks == s.n_arcs
+        assert int(result) == 15

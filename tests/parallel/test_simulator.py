@@ -1,0 +1,140 @@
+"""Closed-form PRNA simulator: Figure 8's engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.mpi.costmodel import ClusterSpec, CostModel
+from repro.parallel.prna import prna
+from repro.parallel.simulator import PRNASimulator, simulate_speedup
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+
+class TestBasicProperties:
+    def test_single_rank_matches_sequential_model(self):
+        s = contrived_worst_case(200)
+        report = PRNASimulator().simulate(s, s, 1)
+        assert report.speedup == pytest.approx(1.0, rel=1e-6)
+        assert report.comm_seconds == 0.0
+
+    def test_speedup_monotone_in_ranks(self):
+        s = contrived_worst_case(1600)
+        reports = PRNASimulator().sweep(s, s, [1, 2, 4, 8, 16, 32, 64])
+        speedups = [r.speedup for r in reports]
+        assert speedups == sorted(speedups)
+
+    def test_larger_problem_scales_better(self):
+        """Figure 8's headline trend."""
+        small = contrived_worst_case(1600)
+        large = contrived_worst_case(3200)
+        simulator = PRNASimulator()
+        for p in (8, 16, 32, 64):
+            assert (
+                simulator.simulate(large, large, p).speedup
+                >= simulator.simulate(small, small, p).speedup
+            )
+
+    def test_paper_endpoints(self):
+        """~22x (800 arcs) and ~32x (1600 arcs) at P=64, within 15%."""
+        simulator = PRNASimulator()
+        s800 = contrived_worst_case(1600)
+        s1600 = contrived_worst_case(3200)
+        speed800 = simulator.simulate(s800, s800, 64).speedup
+        speed1600 = simulator.simulate(s1600, s1600, 64).speedup
+        assert speed800 == pytest.approx(22.0, rel=0.15)
+        assert speed1600 == pytest.approx(32.0, rel=0.15)
+
+    def test_efficiency_below_one(self):
+        s = contrived_worst_case(800)
+        for report in PRNASimulator().sweep(s, s, [2, 8, 32]):
+            assert report.efficiency <= 1.0
+
+
+class TestConfiguration:
+    def test_too_many_ranks(self):
+        s = contrived_worst_case(100)
+        simulator = PRNASimulator(
+            cluster=ClusterSpec(cores_per_node=2, n_nodes=2)
+        )
+        with pytest.raises(SimulationError, match="cannot place"):
+            simulator.simulate(s, s, 8)
+
+    def test_zero_ranks(self):
+        s = contrived_worst_case(100)
+        with pytest.raises(SimulationError):
+            PRNASimulator().simulate(s, s, 0)
+
+    def test_bad_partitioner(self):
+        with pytest.raises(SimulationError, match="partitioner"):
+            PRNASimulator(partitioner="tarot")
+
+    def test_bad_distribution(self):
+        with pytest.raises(SimulationError, match="distribute"):
+            PRNASimulator(distribute="diagonals")
+
+    def test_row_distribution_never_scales(self):
+        """The negative ablation: distributing the outer rows serializes
+        behind the dependency chain — speedup stays ~1 at every P."""
+        s = contrived_worst_case(1600)
+        simulator = PRNASimulator(distribute="rows")
+        for p in (2, 8, 64):
+            report = simulator.simulate(s, s, p)
+            assert report.speedup < 1.05
+        columns = PRNASimulator().simulate(s, s, 64)
+        assert columns.speedup > 10 * simulator.simulate(s, s, 64).speedup
+
+    def test_contention_free_cluster_near_linear(self):
+        """With no contention and no communication costs the model must be
+        essentially ideal (only load imbalance remains)."""
+        spec = ClusterSpec(
+            contention=0.0, alpha=0.0, beta=0.0, sync_overhead=0.0
+        )
+        s = contrived_worst_case(1600)
+        report = PRNASimulator(cluster=spec).simulate(s, s, 16)
+        assert report.speedup == pytest.approx(16.0, rel=0.05)
+
+    def test_simulate_speedup_wrapper(self):
+        s = contrived_worst_case(1600)
+        curve = simulate_speedup(s, s, [1, 4])
+        assert set(curve) == {1, 4}
+        assert curve[4] > curve[1]
+
+    def test_small_problems_do_not_scale(self):
+        """Per-row synchronization overwhelms a small instance — the
+        flip side of Figure 8's 'more speedup with larger problems'."""
+        s = contrived_worst_case(400)
+        report = PRNASimulator().simulate(s, s, 64)
+        assert report.speedup < 8.0
+
+
+class TestExecutedCrossValidation:
+    """The simulator must agree with actually *running* PRNA under analytic
+    virtual-time charging — same work model, same cost model."""
+
+    @pytest.mark.parametrize("n_ranks", [1, 2, 4])
+    def test_matches_executed_virtual_time(self, n_ranks):
+        s = contrived_worst_case(160)
+        simulator = PRNASimulator()
+        predicted = simulator.simulate(s, s, n_ranks).total_seconds
+        executed = prna(
+            s, s, n_ranks,
+            backend="thread", charge="analytic",
+            work_model=WorkModel.default(),
+            cost_model=CostModel(simulator.cluster),
+        ).simulated_time
+        assert executed == pytest.approx(predicted, rel=0.05)
+
+
+class TestReportFields:
+    def test_component_sum(self):
+        s = contrived_worst_case(400)
+        report = PRNASimulator().simulate(s, s, 8)
+        assert report.total_seconds == pytest.approx(
+            report.preprocessing_seconds
+            + report.stage_one_seconds
+            + report.stage_two_seconds
+        )
+        assert report.stage_one_seconds == pytest.approx(
+            report.compute_seconds + report.comm_seconds
+        )
+        assert report.imbalance >= 1.0

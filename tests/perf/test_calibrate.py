@@ -1,0 +1,39 @@
+"""Host calibration of the work model."""
+
+import pytest
+
+from repro.perf.calibrate import calibrate_work_model
+from repro.perf.model import WorkModel
+from repro.structure.generators import contrived_worst_case
+
+
+class TestCalibrate:
+    def test_returns_sane_model(self):
+        model = calibrate_work_model(small=60, large=120, repeat=1)
+        assert isinstance(model, WorkModel)
+        assert model.seconds_per_cell > 0
+        assert model.seconds_per_slice >= 0
+        # NumPy on any plausible host: between 0.1 ns and 10 us per cell.
+        assert 1e-10 < model.seconds_per_cell < 1e-5
+
+    def test_model_predicts_actual_run(self):
+        """The fitted model should predict a third size within ~3x (wall
+        clock noise on a busy host is large; the order of magnitude is
+        the point)."""
+        import time
+
+        from repro.core.srna2 import srna2
+
+        model = calibrate_work_model(small=80, large=160, repeat=2)
+        s = contrived_worst_case(120)
+        start = time.perf_counter()
+        srna2(s, s)
+        actual = time.perf_counter() - start
+        predicted = model.total_sequential_seconds(s, s)
+        assert predicted == pytest.approx(actual, rel=2.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            calibrate_work_model(small=200, large=100)
+        with pytest.raises(ValueError):
+            calibrate_work_model(small=0, large=100)

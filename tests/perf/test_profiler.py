@@ -1,0 +1,39 @@
+"""Profiling helpers."""
+
+from repro.perf.profiler import profile_call, profile_srna2
+from repro.structure.generators import contrived_worst_case
+
+
+class TestProfileCall:
+    def test_captures_value_and_hotspots(self):
+        report = profile_call(lambda: sum(range(10000)))
+        assert report.value == sum(range(10000))
+        assert len(report.hotspots) >= 1
+
+    def test_sorted_by_cumulative(self):
+        report = profile_srna2(contrived_worst_case(60))
+        cumulatives = [h.cumulative_seconds for h in report.hotspots]
+        assert cumulatives == sorted(cumulatives, reverse=True)
+
+    def test_srna2_hotspot_is_the_slice_engine(self):
+        """The profile must show the tabulation kernel where the time
+        actually goes — the measurement behind the vectorization choice."""
+        report = profile_srna2(contrived_worst_case(80))
+        assert report.value.score == 40
+        hotspot = report.find("tabulate_slice_vectorized")
+        assert hotspot is not None
+        assert hotspot.calls > 400  # one call per arc pair + parent
+
+    def test_render(self):
+        report = profile_srna2(contrived_worst_case(40))
+        text = report.render(count=5)
+        assert "cumulative" in text
+        assert len(text.splitlines()) <= 6
+
+    def test_find_missing(self):
+        report = profile_call(lambda: None)
+        assert report.find("no_such_function_xyz") is None
+
+    def test_limit(self):
+        report = profile_call(lambda: sorted(range(100)), limit=3)
+        assert len(report.hotspots) <= 3

@@ -1,0 +1,31 @@
+"""Timing helpers."""
+
+import pytest
+
+from repro.perf.timing import TimingResult, time_call
+
+
+class TestTimeCall:
+    def test_basic(self):
+        calls = []
+        result = time_call(lambda: calls.append(1) or len(calls), repeat=3)
+        assert len(result.samples) == 3
+        assert result.value == 3
+        assert result.best <= result.mean
+
+    def test_invalid_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(lambda: None, repeat=0)
+
+    def test_min_time_extends(self):
+        result = time_call(lambda: None, repeat=1, min_time=0.02)
+        assert sum(result.samples) >= 0.02 or len(result.samples) >= 10
+
+    def test_stats(self):
+        result = TimingResult(samples=(1.0, 2.0, 3.0), value=None)
+        assert result.best == 1.0
+        assert result.mean == 2.0
+        assert result.stdev == 1.0
+
+    def test_single_sample_stdev(self):
+        assert TimingResult(samples=(1.0,), value=None).stdev == 0.0

@@ -1,0 +1,103 @@
+"""Column partitions and partitioners."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.scheduling.partition import (
+    PARTITIONERS,
+    Partition,
+    block_partition,
+    cyclic_partition,
+    greedy_partition,
+    partition_quality,
+)
+
+
+class TestPartitionValidation:
+    def test_valid(self):
+        p = Partition(2, (0, 1, 0), (1.0, 2.0, 3.0))
+        assert p.n_tasks == 3
+        assert p.tasks_of(0) == [0, 2]
+        assert p.tasks_of(1) == [1]
+
+    def test_invalid_rank(self):
+        with pytest.raises(SchedulingError, match="invalid rank"):
+            Partition(2, (0, 5))
+
+    def test_negative_world(self):
+        with pytest.raises(SchedulingError):
+            Partition(0, ())
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(SchedulingError, match="weights"):
+            Partition(1, (0, 0), (1.0,))
+
+    def test_tasks_of_bad_rank(self):
+        p = Partition(2, (0, 1))
+        with pytest.raises(SchedulingError):
+            p.tasks_of(7)
+
+    def test_loads_and_imbalance(self):
+        p = Partition(2, (0, 0, 1), (3.0, 3.0, 2.0))
+        assert p.loads().tolist() == [6.0, 2.0]
+        assert p.imbalance() == pytest.approx(6.0 / 4.0)
+
+    def test_imbalance_no_tasks(self):
+        assert Partition(3, ()).imbalance() == 1.0
+
+    def test_tasks_sorted(self):
+        """Owned tasks come back in increasing index order — stage one's
+        required traversal order (increasing right endpoints)."""
+        p = cyclic_partition([1] * 10, 3)
+        for rank in range(3):
+            tasks = p.tasks_of(rank)
+            assert tasks == sorted(tasks)
+
+
+class TestPartitioners:
+    def test_block_contiguous(self):
+        p = block_partition([1] * 7, 3)
+        assert p.owner == (0, 0, 0, 1, 1, 2, 2)
+
+    def test_cyclic(self):
+        p = cyclic_partition([1] * 5, 2)
+        assert p.owner == (0, 1, 0, 1, 0)
+
+    def test_greedy_balances_weighted(self):
+        # One heavy task and many light ones: greedy puts the heavy task
+        # alone.
+        weights = [100, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10]
+        p = greedy_partition(weights, 2)
+        heavy_rank = p.owner[0]
+        assert p.loads()[heavy_rank] == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("name", sorted(PARTITIONERS))
+    @given(
+        n_tasks=st.integers(min_value=0, max_value=50),
+        n_ranks=st.integers(min_value=1, max_value=8),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_every_task_owned_exactly_once(self, name, n_tasks, n_ranks, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        weights = rng.integers(0, 100, size=n_tasks).tolist()
+        partition = PARTITIONERS[name](weights, n_ranks)
+        owned = [t for r in range(n_ranks) for t in partition.tasks_of(r)]
+        assert sorted(owned) == list(range(n_tasks))
+
+    def test_greedy_beats_block_on_skewed_weights(self):
+        # Monotone weights (the worst-case structure's profile): block
+        # gives the last rank all the heavy columns.
+        weights = list(range(64))
+        greedy = greedy_partition(weights, 8).imbalance()
+        block = block_partition(weights, 8).imbalance()
+        assert greedy < block
+
+    def test_partition_quality_keys(self):
+        q = partition_quality(greedy_partition([1.0, 2.0], 2))
+        assert set(q) == {"makespan", "imbalance", "total"}
+        assert q["total"] == 3.0

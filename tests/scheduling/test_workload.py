@@ -1,0 +1,60 @@
+"""Work estimation (Figure 7 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.scheduling.workload import column_weights, row_work, stage_one_work
+from repro.structure.generators import (
+    contrived_worst_case,
+    rna_like_structure,
+    sequential_arcs,
+)
+
+
+class TestColumnWeights:
+    def test_worst_case_profile(self):
+        s = contrived_worst_case(10)  # inside: 0..4, total 10
+        w = column_weights(s, s, overhead=0.0)
+        assert w.tolist() == [0.0, 10.0, 20.0, 30.0, 40.0]
+
+    def test_overhead_term(self):
+        s = sequential_arcs(4)  # all inside counts zero
+        w = column_weights(s, s, overhead=2.0)
+        # Each column still costs |S1| * overhead slice setups.
+        assert w.tolist() == [8.0, 8.0, 8.0, 8.0]
+
+    def test_total_consistency(self):
+        """Sum of column weights == total stage-one work."""
+        s1 = rna_like_structure(200, 40, seed=3)
+        s2 = rna_like_structure(160, 35, seed=4)
+        assert column_weights(s1, s2).sum() == pytest.approx(
+            stage_one_work(s1, s2)
+        )
+        assert row_work(s1, s2).sum() == pytest.approx(stage_one_work(s1, s2))
+
+    def test_symmetric_roles(self):
+        s1 = contrived_worst_case(12)
+        s2 = rna_like_structure(40, 9, seed=1)
+        assert np.allclose(column_weights(s1, s2), row_work(s2, s1))
+
+
+class TestStageOneWork:
+    def test_cells_term(self):
+        s = contrived_worst_case(8)  # inside sum = 0+1+2+3 = 6
+        assert stage_one_work(s, s, overhead=0.0) == 36.0
+
+    def test_matches_actual_tabulation(self):
+        """The model's cell count equals what SRNA2 actually tabulates."""
+        from repro.core.instrument import Instrumentation
+        from repro.core.srna2 import srna2
+
+        s1 = rna_like_structure(120, 25, seed=8)
+        s2 = contrived_worst_case(40)
+        inst = Instrumentation()
+        srna2(s1, s2, instrumentation=inst)
+        # Stage one cells + the parent slice (|S1| x |S2|).
+        expected = (
+            float(s1.inside_count.sum()) * float(s2.inside_count.sum())
+            + s1.n_arcs * s2.n_arcs
+        )
+        assert inst.cells_tabulated == expected

@@ -1,0 +1,89 @@
+"""Anchored alignment rendering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.backtrace import MatchedPair, backtrace
+from repro.core.srna2 import srna2
+from repro.errors import BacktraceError
+from repro.structure.align import align_from_matching
+from repro.structure.arcs import Arc
+from repro.structure.dotbracket import from_dotbracket, to_dotbracket
+from tests.conftest import structure_pairs
+
+
+def _certificate(s1, s2):
+    run = srna2(s1, s2)
+    return backtrace(run.memo, s1, s2)
+
+
+class TestAlignFromMatching:
+    def test_self_alignment_gapless(self):
+        s = from_dotbracket("((..))()")
+        alignment = align_from_matching(s, s, _certificate(s, s))
+        assert alignment.row1 == alignment.row2 == to_dotbracket(s)
+        assert "-" not in alignment.row1
+        assert alignment.n_anchors == 2 * s.n_arcs
+
+    def test_anchor_columns_align_matched_endpoints(self):
+        s1 = from_dotbracket("((..))")
+        s2 = from_dotbracket("(())..")
+        alignment = align_from_matching(s1, s2, _certificate(s1, s2))
+        for col in range(alignment.columns):
+            if alignment.markers[col] == "|":
+                assert alignment.row1[col] in "()"
+                assert alignment.row2[col] in "()"
+
+    def test_degap_round_trip(self):
+        s1 = from_dotbracket("(.((.)).)")
+        s2 = from_dotbracket("((..))")
+        alignment = align_from_matching(s1, s2, _certificate(s1, s2))
+        assert alignment.degapped() == (to_dotbracket(s1), to_dotbracket(s2))
+
+    def test_uses_sequences_when_present(self):
+        s1 = from_dotbracket("(.)", sequence="GAC")
+        s2 = from_dotbracket("(.)", sequence="CUG")
+        alignment = align_from_matching(s1, s2, _certificate(s1, s2))
+        assert "G" in alignment.row1
+        assert "C" in alignment.row2
+
+    def test_empty_matching(self):
+        s1 = from_dotbracket("...")
+        s2 = from_dotbracket(".....")
+        alignment = align_from_matching(s1, s2, [])
+        assert alignment.n_anchors == 0
+        assert alignment.degapped() == ("...", ".....")
+        assert alignment.columns == 5
+
+    def test_invalid_matching_rejected(self):
+        s = from_dotbracket("()()")
+        bad = [
+            MatchedPair(Arc(0, 1), Arc(2, 3)),
+            MatchedPair(Arc(2, 3), Arc(0, 1)),  # order-violating
+        ]
+        with pytest.raises(BacktraceError, match="monotone"):
+            align_from_matching(s, s, bad)
+
+    def test_render_wraps(self):
+        s = from_dotbracket("(" + "." * 100 + ")")
+        alignment = align_from_matching(s, s, _certificate(s, s))
+        rendered = alignment.render(width=40)
+        blocks = rendered.split("\n\n")
+        assert len(blocks) == 3  # 102 columns at width 40
+        for block in blocks:
+            lines = block.splitlines()
+            assert len(lines) == 3
+            assert len({len(line) for line in lines}) == 1
+
+    @given(structure_pairs(max_arcs=6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_valid_certificates_always_align(self, pair):
+        s1, s2 = pair
+        alignment = align_from_matching(s1, s2, _certificate(s1, s2))
+        assert alignment.degapped() == (
+            to_dotbracket(s1), to_dotbracket(s2)
+        )
+        assert len(alignment.row1) == len(alignment.row2) == len(
+            alignment.markers
+        )
+        assert alignment.markers.count("|") == alignment.n_anchors

@@ -1,0 +1,140 @@
+"""Biological archetype generators and the mutation operator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.srna2 import srna2
+from repro.errors import StructureError
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import (
+    hairpin,
+    mutate,
+    nest,
+    rna_like_structure,
+    rrna_5s,
+    trna_cloverleaf,
+)
+from repro.structure.stats import describe
+
+
+class TestBuildingBlocks:
+    def test_hairpin(self):
+        s = hairpin(3, 4)
+        assert s.length == 10
+        assert s.n_arcs == 3
+        assert s.depth == 3
+
+    def test_hairpin_validation(self):
+        with pytest.raises(StructureError):
+            hairpin(-1, 2)
+
+    def test_nest(self):
+        inner = hairpin(1, 2)
+        wrapped = nest(inner, stem=2, tail=3)
+        assert wrapped.length == 4 + 4 + 3
+        assert wrapped.n_arcs == 3
+        assert wrapped.depth == 3
+        # Tail positions are unpaired.
+        assert all(wrapped.partner_of(p) == -1 for p in range(8, 11))
+
+    def test_nest_zero_stem(self):
+        inner = hairpin(2, 2)
+        assert nest(inner, stem=0) == inner
+
+
+class TestTrna:
+    def test_canonical_dimensions(self):
+        s = trna_cloverleaf()
+        assert s.length == 76  # the canonical tRNA length
+        assert s.n_arcs == 21  # 7 + 4 + 5 + 5 base pairs
+
+    def test_cloverleaf_topology(self):
+        s = trna_cloverleaf()
+        stats = describe(s)
+        assert stats.n_helices == 4
+        assert stats.max_depth == 7 + 5  # acceptor stem + longest arm
+
+    def test_deterministic(self):
+        assert trna_cloverleaf() == trna_cloverleaf()
+
+
+class Test5S:
+    def test_dimensions(self):
+        s = rrna_5s()
+        assert 110 <= s.length <= 130
+        assert s.n_arcs == 34
+
+    def test_three_way_junction(self):
+        s = rrna_5s()
+        from repro.structure.forest import Forest
+
+        forest = Forest(s)
+        # One root helix (helix I); walk down the stack to the junction.
+        assert len(forest.roots) == 1
+        node = forest.roots[0]
+        while len(node.children) == 1:
+            node = node.children[0]
+        assert len(node.children) == 2  # the two junction arms
+
+
+class TestMutate:
+    def test_deletions_cost_exactly_one_each(self):
+        s = rna_like_structure(200, 45, seed=3)
+        mutated = mutate(s, delete=7, seed=1)
+        assert mutated.n_arcs == 38
+        assert srna2(s, mutated).score == 38
+
+    def test_insertions_preserve_validity(self):
+        s = rna_like_structure(200, 20, seed=4)
+        mutated = mutate(s, insert=10, seed=2)
+        assert mutated.n_arcs == 30
+        assert mutated.length == s.length
+
+    def test_sequence_preserved(self):
+        s = from_dotbracket("((..))..", sequence="GGAACCAU")
+        mutated = mutate(s, delete=1, seed=0)
+        assert mutated.sequence == "GGAACCAU"
+
+    def test_delete_too_many(self):
+        s = hairpin(2, 2)
+        with pytest.raises(StructureError):
+            mutate(s, delete=3)
+
+    def test_negative_counts(self):
+        s = hairpin(1, 1)
+        with pytest.raises(StructureError):
+            mutate(s, delete=-1)
+
+    def test_impossible_insert(self):
+        s = hairpin(3, 0)  # fully paired, nothing can be inserted
+        with pytest.raises(StructureError, match="could not place"):
+            mutate(s, insert=1, max_tries=50)
+
+    @given(
+        delete=st.integers(min_value=0, max_value=5),
+        insert=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_counts(self, delete, insert, seed):
+        s = rna_like_structure(120, 20, seed=77)
+        mutated = mutate(s, delete=delete, insert=insert, seed=seed)
+        assert mutated.n_arcs == 20 - delete + insert
+        # The undeleted arcs remain a common substructure (inserting arcs
+        # never invalidates an existing embedding), bounding the score
+        # from below; the trivial bound caps it from above.
+        score = srna2(s, mutated).score
+        assert score >= 20 - delete
+        assert score <= min(20, mutated.n_arcs)
+
+    def test_archetype_divergence_scenario(self):
+        """tRNA vs a diverged copy: the score drops by the deletions but
+        remains far above an unrelated structure."""
+        query = trna_cloverleaf()
+        diverged = mutate(query, delete=4, insert=2, seed=5)
+        unrelated = rna_like_structure(76, 21, seed=99)
+        related_score = srna2(query, diverged).score
+        unrelated_score = srna2(query, unrelated).score
+        assert related_score >= 17
+        assert related_score > unrelated_score

@@ -1,0 +1,232 @@
+"""Unit tests for the arc-annotated structure model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PseudoknotError, SharedEndpointError, StructureError
+from repro.structure.arcs import Arc, Structure
+
+
+class TestArc:
+    def test_span(self):
+        assert Arc(2, 7).span() == 4
+        assert Arc(3, 4).span() == 0
+
+    def test_contains(self):
+        assert Arc(0, 9).contains(Arc(1, 8))
+        assert not Arc(0, 9).contains(Arc(0, 8))  # shared endpoint
+        assert not Arc(1, 8).contains(Arc(0, 9))
+
+    def test_crosses(self):
+        assert Arc(0, 5).crosses(Arc(3, 8))
+        assert Arc(3, 8).crosses(Arc(0, 5))
+        assert not Arc(0, 9).crosses(Arc(1, 8))  # nested
+        assert not Arc(0, 3).crosses(Arc(4, 8))  # sequential
+
+
+class TestConstruction:
+    def test_empty(self):
+        s = Structure(0, ())
+        assert s.length == 0
+        assert s.n_arcs == 0
+        assert list(s) == []
+
+    def test_arcless(self):
+        s = Structure(5, ())
+        assert s.length == 5
+        assert (s.partner == -1).all()
+
+    def test_basic(self):
+        s = Structure(6, [(0, 5), (1, 4)])
+        assert s.n_arcs == 2
+        assert s.arcs == (Arc(1, 4), Arc(0, 5))  # sorted by right endpoint
+
+    def test_reversed_pairs_normalized(self):
+        s = Structure(4, [(3, 0)])
+        assert s.arcs == (Arc(0, 3),)
+
+    def test_sequence_kept(self):
+        s = Structure(4, [(0, 3)], sequence="ACGU")
+        assert s.sequence == "ACGU"
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(StructureError, match="sequence length"):
+            Structure(4, (), sequence="ACG")
+
+    def test_negative_length(self):
+        with pytest.raises(StructureError, match="non-negative"):
+            Structure(-1, ())
+
+    def test_out_of_range_arc(self):
+        with pytest.raises(StructureError, match="outside"):
+            Structure(4, [(0, 4)])
+        with pytest.raises(StructureError, match="outside"):
+            Structure(4, [(-1, 2)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(StructureError, match="links a position to itself"):
+            Structure(4, [(2, 2)])
+
+    def test_shared_endpoint_rejected(self):
+        with pytest.raises(SharedEndpointError) as err:
+            Structure(6, [(0, 3), (3, 5)])
+        assert err.value.position == 3
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(SharedEndpointError):
+            Structure(6, [(0, 3), (0, 3)])
+
+    def test_crossing_rejected(self):
+        with pytest.raises(PseudoknotError):
+            Structure(6, [(0, 3), (2, 5)])
+
+    def test_malformed_arc(self):
+        with pytest.raises(StructureError, match="not a pair"):
+            Structure(4, [(1, 2, 3)])
+
+    def test_eq_and_hash(self):
+        a = Structure(6, [(0, 5), (1, 4)])
+        b = Structure(6, [(1, 4), (0, 5)])
+        c = Structure(7, [(0, 5), (1, 4)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+        assert a != "not a structure"
+
+    def test_repr(self):
+        assert "length=6" in repr(Structure(6, [(0, 5)]))
+
+    def test_partner_readonly(self):
+        s = Structure(4, [(0, 3)])
+        with pytest.raises(ValueError):
+            s.partner[0] = 7
+
+
+class TestQueries:
+    @pytest.fixture
+    def nested(self) -> Structure:
+        # ((..)) ()
+        return Structure(8, [(0, 5), (1, 4), (6, 7)])
+
+    def test_partner_of(self, nested):
+        assert nested.partner_of(0) == 5
+        assert nested.partner_of(5) == 0
+        assert nested.partner_of(2) == -1
+        with pytest.raises(IndexError):
+            nested.partner_of(8)
+
+    def test_arc_indices_in_full(self, nested):
+        idx = nested.arc_indices_in(0, 7)
+        assert [tuple(nested.arcs[i]) for i in idx] == [(1, 4), (0, 5), (6, 7)]
+
+    def test_arc_indices_in_interval(self, nested):
+        idx = nested.arc_indices_in(1, 4)
+        assert [tuple(nested.arcs[i]) for i in idx] == [(1, 4)]
+
+    def test_arc_indices_in_empty(self, nested):
+        assert nested.arc_indices_in(3, 2).size == 0
+        assert nested.arc_indices_in(2, 3).size == 0
+
+    def test_arc_indices_excludes_straddlers(self, nested):
+        # Interval [1, 5] contains arc (1,4) fully; (0,5) straddles.
+        idx = nested.arc_indices_in(1, 5)
+        assert [tuple(nested.arcs[i]) for i in idx] == [(1, 4)]
+
+    def test_arcs_in(self, nested):
+        assert nested.arcs_in(6, 7) == [Arc(6, 7)]
+
+    def test_arc_index_ending_at(self, nested):
+        assert nested.arc_index_ending_at(4) == 0
+        assert nested.arc_index_ending_at(5) == 1
+        assert nested.arc_index_ending_at(7) == 2
+        assert nested.arc_index_ending_at(0) == -1  # left endpoint
+        assert nested.arc_index_ending_at(2) == -1  # unpaired
+
+    def test_inside_count(self, nested):
+        # arcs sorted by right: (1,4) has 0 inside, (0,5) has 1, (6,7) has 0
+        assert nested.inside_count.tolist() == [0, 1, 0]
+
+    def test_inside_count_deep(self):
+        s = Structure(10, [(i, 9 - i) for i in range(5)])
+        assert s.inside_count.tolist() == [0, 1, 2, 3, 4]
+
+    def test_inner_ranges(self, nested):
+        ranges = nested.inner_ranges
+        # arc (0,5) at index 1 contains arc index 0 only.
+        lo, hi = ranges[1]
+        assert (lo, hi) == (0, 1)
+        lo, hi = ranges[0]
+        assert lo == hi  # leaf
+        lo, hi = ranges[2]
+        assert lo == hi
+
+    def test_inner_ranges_match_arc_indices(self):
+        s = Structure(14, [(0, 13), (1, 6), (2, 5), (7, 12), (8, 11)])
+        for k, arc in enumerate(s.arcs):
+            lo, hi = s.inner_ranges[k]
+            expected = s.arc_indices_in(arc.left + 1, arc.right - 1)
+            assert list(range(lo, hi)) == expected.tolist()
+
+    def test_depth(self, nested):
+        assert nested.depth == 2
+        assert Structure(4, ()).depth == 0
+        assert Structure(10, [(i, 9 - i) for i in range(5)]).depth == 5
+
+    def test_right_endpoint_set(self, nested):
+        assert nested.right_endpoint_set == {4, 5, 7}
+
+
+class TestDerived:
+    def test_restricted_to(self):
+        s = Structure(8, [(0, 5), (1, 4), (6, 7)])
+        sub = s.restricted_to(1, 4)
+        assert sub.length == 4
+        assert sub.arcs == (Arc(0, 3),)
+
+    def test_restricted_drops_straddlers(self):
+        s = Structure(8, [(0, 5), (1, 4)])
+        sub = s.restricted_to(2, 6)
+        assert sub.n_arcs == 0
+
+    def test_restricted_empty(self):
+        s = Structure(8, [(0, 5)])
+        assert s.restricted_to(5, 2).length == 0
+
+    def test_restricted_keeps_sequence(self):
+        s = Structure(4, [(0, 3)], sequence="ACGU")
+        assert s.restricted_to(1, 2).sequence == "CG"
+
+    def test_without_arcs(self):
+        s = Structure(8, [(0, 5), (1, 4), (6, 7)])
+        t = s.without_arcs([1])  # remove (0,5)
+        assert t.length == 8
+        assert t.arcs == (Arc(1, 4), Arc(6, 7))
+
+    def test_shifted(self):
+        s = Structure(4, [(0, 3)])
+        t = s.shifted(2)
+        assert t.length == 6
+        assert t.arcs == (Arc(2, 5),)
+
+    def test_concatenate(self):
+        a = Structure(4, [(0, 3)])
+        b = Structure(2, [(0, 1)])
+        c = Structure.concatenate([a, b])
+        assert c.length == 6
+        assert c.arcs == (Arc(0, 3), Arc(4, 5))
+
+    def test_concatenate_empty_list(self):
+        assert Structure.concatenate([]).length == 0
+
+    def test_concatenate_sequences(self):
+        a = Structure(2, [(0, 1)], sequence="GC")
+        b = Structure(1, (), sequence="A")
+        assert Structure.concatenate([a, b]).sequence == "GCA"
+
+
+class TestArrays:
+    def test_rights_sorted_lefts_aligned(self):
+        s = Structure(10, [(0, 9), (1, 4), (5, 8)])
+        assert s.rights.tolist() == [4, 8, 9]
+        assert s.lefts.tolist() == [1, 5, 0]
+        assert np.issubdtype(s.rights.dtype, np.integer)

@@ -1,0 +1,53 @@
+"""Named datasets: exact paper dimensions, determinism, registry."""
+
+import pytest
+
+from repro.structure.datasets import (
+    REGISTRY,
+    fungus_23s,
+    get_dataset,
+    malaria_23s,
+    worst_case_table1,
+)
+
+
+class TestPaperDimensions:
+    def test_fungus(self):
+        s = fungus_23s()
+        assert s.length == 4216  # L47585
+        assert s.n_arcs == 721
+
+    def test_malaria(self):
+        s = malaria_23s()
+        assert s.length == 4381  # U48228
+        assert s.n_arcs == 1126
+
+    def test_worst_case_table1(self):
+        for length in (100, 200, 400):
+            s = worst_case_table1(length)
+            assert s.length == length
+            assert s.n_arcs == length // 2
+
+
+class TestRegistry:
+    def test_metadata_matches_builders(self):
+        for name, (info, builder) in REGISTRY.items():
+            s = builder()
+            assert s.length == info.length
+            assert s.n_arcs == info.n_arcs
+            assert info.synthetic  # offline stand-ins, flagged as such
+            assert info.name == name
+
+    def test_get_dataset(self):
+        assert get_dataset("fungus").n_arcs == 721
+
+    def test_get_unknown(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            get_dataset("nope")
+
+    def test_deterministic(self):
+        assert fungus_23s() == fungus_23s()
+        assert malaria_23s() == malaria_23s()
+
+    def test_datasets_differ(self):
+        assert fungus_23s() != malaria_23s()

@@ -1,0 +1,70 @@
+"""Dot-bracket parsing/rendering, including property-based round trips."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import ParseError
+from repro.structure.arcs import Arc, Structure
+from repro.structure.dotbracket import from_dotbracket, to_dotbracket
+from tests.conftest import dotbracket_strings
+
+
+class TestParse:
+    def test_empty(self):
+        assert from_dotbracket("").length == 0
+
+    def test_unpaired_only(self):
+        s = from_dotbracket("....")
+        assert s.length == 4
+        assert s.n_arcs == 0
+
+    def test_simple(self):
+        s = from_dotbracket("(())")
+        assert s.arcs == (Arc(1, 2), Arc(0, 3))
+
+    def test_alternative_unpaired_chars(self):
+        s = from_dotbracket("-(_):,")
+        assert s.length == 6
+        assert s.arcs == (Arc(1, 3),)
+
+    def test_whitespace_ignored(self):
+        assert from_dotbracket("( ( ) )\n") == from_dotbracket("(())")
+
+    def test_sequence_attached(self):
+        s = from_dotbracket("()", sequence="GC")
+        assert s.sequence == "GC"
+
+    def test_unbalanced_close(self):
+        with pytest.raises(ParseError, match=r"unbalanced '\)'"):
+            from_dotbracket("())")
+
+    def test_unbalanced_open(self):
+        with pytest.raises(ParseError, match=r"unbalanced '\('"):
+            from_dotbracket("(()")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected character"):
+            from_dotbracket("(x)")
+
+
+class TestRender:
+    def test_simple(self):
+        s = Structure(6, [(0, 5), (2, 3)])
+        assert to_dotbracket(s) == "(.().)"
+
+    def test_arcless(self):
+        assert to_dotbracket(Structure(3, ())) == "..."
+
+
+class TestRoundTrip:
+    @given(dotbracket_strings())
+    def test_parse_render_parse(self, text: str):
+        s = from_dotbracket(text)
+        rendered = to_dotbracket(s)
+        again = from_dotbracket(rendered)
+        assert again == s
+
+    @given(dotbracket_strings())
+    def test_arc_count_matches_open_count(self, text: str):
+        s = from_dotbracket(text)
+        assert s.n_arcs == text.count("(")

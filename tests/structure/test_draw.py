@@ -1,0 +1,69 @@
+"""ASCII arc diagrams."""
+
+from hypothesis import given
+
+from repro.core.backtrace import MatchedPair
+from repro.structure.arcs import Arc, Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.draw import draw_arcs, draw_matching
+from tests.conftest import structures
+
+
+class TestDrawArcs:
+    def test_empty(self):
+        assert "empty" in draw_arcs(Structure(0, ()))
+
+    def test_hairpin_shape(self):
+        out = draw_arcs(from_dotbracket("(..)"), show_positions=False)
+        lines = out.splitlines()
+        assert lines[0] == ".--."
+        assert lines[1] == "(..)"
+
+    def test_nested_levels(self):
+        out = draw_arcs(from_dotbracket("((..))"), show_positions=False)
+        lines = out.splitlines()
+        assert lines[0] == ".----."  # outer arc on top row
+        assert lines[1] == "|.--.|"  # inner arc one row below
+        assert lines[2] == "((..))"
+
+    def test_position_ruler(self):
+        out = draw_arcs(from_dotbracket("()" * 6))
+        assert out.splitlines()[-1] == "012345678901"
+
+    def test_sequence_shown(self):
+        s = from_dotbracket("(..)", sequence="GAAC")
+        out = draw_arcs(s, show_positions=False)
+        assert out.splitlines()[-1] == "GAAC"
+
+    @given(structures(max_arcs=6))
+    def test_round_trip_arcs_from_drawing(self, s: Structure):
+        """The arc rows encode the structure: each level row's '.' columns
+        pair up into the arcs of that nesting level."""
+        out = draw_arcs(s, show_positions=False, show_sequence=True)
+        lines = out.splitlines()
+        base = lines[-1]
+        recovered = from_dotbracket(base) if s.length else s
+        if s.length:
+            assert recovered == Structure(
+                s.length, [tuple(a) for a in s.arcs]
+            )
+
+    def test_arcless(self):
+        out = draw_arcs(from_dotbracket("...."), show_positions=False)
+        assert out.splitlines()[-1] == "...."
+
+
+class TestDrawMatching:
+    def test_labels_align(self):
+        s1 = from_dotbracket("(())")
+        s2 = from_dotbracket("(.).")
+        pairs = [MatchedPair(Arc(1, 2), Arc(0, 2))]
+        out = draw_matching(s1, s2, pairs)
+        line1, line2 = out.splitlines()
+        assert line1 == "(aa)"
+        assert line2 == "a.a."
+
+    def test_unmatched_arcs_plain(self):
+        s = from_dotbracket("()()")
+        out = draw_matching(s, s, [MatchedPair(Arc(0, 1), Arc(0, 1))])
+        assert out.splitlines()[0] == "aa()"

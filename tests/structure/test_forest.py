@@ -1,0 +1,74 @@
+"""Ordered-forest view of structures."""
+
+import pytest
+from hypothesis import given
+
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.forest import Forest
+from tests.conftest import structures
+
+
+class TestForest:
+    def test_empty(self):
+        forest = Forest(Structure(4, ()))
+        assert forest.roots == []
+        assert forest.height() == 0
+        assert forest.n_arcs() == 0
+        assert forest.shape() == ()
+
+    def test_single_arc(self):
+        forest = Forest(from_dotbracket("(.)"))
+        assert len(forest.roots) == 1
+        assert forest.roots[0].children == []
+        assert forest.height() == 1
+        assert forest.shape() == ((),)
+
+    def test_nested(self):
+        forest = Forest(from_dotbracket("((()))"))
+        assert len(forest.roots) == 1
+        assert forest.height() == 3
+        assert forest.shape() == ((((),),),)
+
+    def test_siblings_ordered(self):
+        forest = Forest(from_dotbracket("(()())"))
+        root = forest.roots[0]
+        assert len(root.children) == 2
+        left, right = root.children
+        assert left.arc.left < right.arc.left
+
+    def test_two_trees(self):
+        forest = Forest(from_dotbracket("()()"))
+        assert len(forest.roots) == 2
+        assert forest.shape() == ((), ())
+
+    def test_subtree_size(self):
+        forest = Forest(from_dotbracket("((())())"))
+        assert forest.roots[0].subtree_size() == 4
+
+    def test_preorder(self):
+        s = from_dotbracket("(())()")
+        forest = Forest(s)
+        arcs = [tuple(node.arc) for node in forest.iter_preorder()]
+        assert arcs == [(0, 3), (1, 2), (4, 5)]
+
+    def test_node_for_arc(self):
+        s = from_dotbracket("(())")
+        forest = Forest(s)
+        node = forest.node_for_arc(0)  # smallest right endpoint = inner arc
+        assert tuple(node.arc) == (1, 2)
+        with pytest.raises(KeyError):
+            forest.node_for_arc(5)
+
+    @given(structures())
+    def test_counts_agree_with_structure(self, s: Structure):
+        forest = Forest(s)
+        assert forest.n_arcs() == s.n_arcs
+        assert forest.height() == s.depth
+
+    @given(structures())
+    def test_children_strictly_nested(self, s: Structure):
+        forest = Forest(s)
+        for node in forest.iter_preorder():
+            for child in node.children:
+                assert node.arc.contains(child.arc)

@@ -1,0 +1,154 @@
+"""Workload generators: validity, exact counts, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StructureError
+from repro.structure.arcs import Structure
+from repro.structure.generators import (
+    comb_structure,
+    contrived_worst_case,
+    random_structure,
+    rna_like_structure,
+    sequential_arcs,
+)
+
+
+class TestWorstCase:
+    def test_counts(self):
+        s = contrived_worst_case(100)
+        assert s.length == 100
+        assert s.n_arcs == 50
+        assert s.depth == 50
+
+    def test_odd_length(self):
+        s = contrived_worst_case(7)
+        assert s.n_arcs == 3
+        # Middle position unpaired.
+        assert s.partner_of(3) == -1
+
+    def test_zero_and_one(self):
+        assert contrived_worst_case(0).n_arcs == 0
+        assert contrived_worst_case(1).n_arcs == 0
+
+    def test_negative(self):
+        with pytest.raises(StructureError):
+            contrived_worst_case(-2)
+
+    def test_fully_nested(self):
+        s = contrived_worst_case(10)
+        assert s.inside_count.tolist() == [0, 1, 2, 3, 4]
+
+
+class TestSequentialArcs:
+    def test_counts(self):
+        s = sequential_arcs(5)
+        assert s.length == 10
+        assert s.n_arcs == 5
+        assert s.depth == 1
+
+    def test_gap(self):
+        s = sequential_arcs(3, gap=2)
+        assert s.length == 3 * 4 - 2
+        assert [tuple(a) for a in s.arcs] == [(0, 1), (4, 5), (8, 9)]
+
+    def test_zero(self):
+        assert sequential_arcs(0).length == 0
+
+    def test_negative(self):
+        with pytest.raises(StructureError):
+            sequential_arcs(-1)
+
+
+class TestComb:
+    def test_counts(self):
+        s = comb_structure(3, 4)
+        assert s.n_arcs == 12
+        assert s.depth == 4
+        assert s.length == 24
+
+    def test_extremes(self):
+        assert comb_structure(1, 5) == contrived_worst_case(10)
+        assert comb_structure(5, 1) == sequential_arcs(5)
+
+    def test_negative(self):
+        with pytest.raises(StructureError):
+            comb_structure(-1, 2)
+
+
+class TestRandomStructure:
+    @given(
+        st.integers(min_value=0, max_value=30),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_valid_and_exact(self, length, arcs, seed):
+        if 2 * arcs > length:
+            with pytest.raises(StructureError):
+                random_structure(length, arcs, seed=seed)
+            return
+        s = random_structure(length, arcs, seed=seed)
+        assert s.length == length
+        assert s.n_arcs == arcs  # Structure() already validated the rest
+
+    def test_deterministic(self):
+        a = random_structure(30, 10, seed=5)
+        b = random_structure(30, 10, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_structure(40, 15, seed=1)
+        b = random_structure(40, 15, seed=2)
+        assert a != b
+
+    def test_accepts_generator(self):
+        rng = np.random.default_rng(0)
+        s = random_structure(20, 5, seed=rng)
+        assert s.n_arcs == 5
+
+    def test_tight_packing(self):
+        # All positions paired: the hardest case for rejection sampling.
+        s = random_structure(16, 8, seed=3)
+        assert (s.partner >= 0).all()
+
+
+class TestRnaLike:
+    @pytest.mark.parametrize("length,arcs", [(100, 20), (400, 80), (50, 25)])
+    def test_exact_counts(self, length, arcs):
+        s = rna_like_structure(length, arcs, seed=7)
+        assert s.length == length
+        assert s.n_arcs == arcs
+
+    def test_deterministic(self):
+        assert rna_like_structure(200, 40, seed=9) == rna_like_structure(
+            200, 40, seed=9
+        )
+
+    def test_too_many_arcs(self):
+        with pytest.raises(StructureError):
+            rna_like_structure(10, 6)
+
+    def test_helix_composition(self):
+        from repro.structure.stats import describe
+
+        s = rna_like_structure(1000, 200, seed=13)
+        stats = describe(s)
+        # Helices should exist and average more than 2 stacked arcs.
+        assert stats.n_helices >= 10
+        assert stats.mean_helix_length > 2.0
+
+    def test_zero_arcs(self):
+        s = rna_like_structure(30, 0, seed=1)
+        assert s.n_arcs == 0
+        assert s.length == 30
+
+    @given(st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_always_valid(self, seed):
+        # Construction through Structure() validates the invariants.
+        s = rna_like_structure(300, 60, seed=seed)
+        assert s.length == 300
+        assert s.n_arcs == 60

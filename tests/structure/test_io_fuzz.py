@@ -1,0 +1,73 @@
+"""Fuzzing the parsers: arbitrary text must parse or raise ParseError —
+never crash with anything else."""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParseError, StructureError
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.io import read_bpseq, read_ct, read_vienna
+
+_EXPECTED = (ParseError, StructureError)
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_dotbracket_never_crashes(text):
+    try:
+        structure = from_dotbracket(text)
+    except _EXPECTED:
+        return
+    assert structure.length == len("".join(text.split()))
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_bpseq_never_crashes(text):
+    try:
+        read_bpseq(io.StringIO(text))
+    except _EXPECTED:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_ct_never_crashes(text):
+    try:
+        read_ct(io.StringIO(text))
+    except _EXPECTED:
+        pass
+
+
+@given(st.text(max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_vienna_never_crashes(text):
+    try:
+        read_vienna(io.StringIO(text))
+    except _EXPECTED:
+        pass
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=30),
+            st.text(alphabet="ACGUN", min_size=1, max_size=1),
+            st.integers(min_value=0, max_value=30),
+        ),
+        max_size=30,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_bpseq_structured_fuzz(rows):
+    """Structurally plausible bpseq content: either a valid structure or a
+    ParseError/StructureError with a meaningful message."""
+    text = "\n".join(f"{idx} {base} {pair}" for idx, base, pair in rows)
+    try:
+        structure = read_bpseq(io.StringIO(text))
+    except _EXPECTED as exc:
+        assert str(exc)
+        return
+    assert structure.length >= 0

@@ -1,0 +1,80 @@
+"""Structure statistics and the Figure 7 work matrix."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.structure.arcs import Structure
+from repro.structure.dotbracket import from_dotbracket
+from repro.structure.generators import contrived_worst_case, sequential_arcs
+from repro.structure.stats import column_work, describe, work_matrix
+from tests.conftest import structure_pairs, structures
+
+
+class TestDescribe:
+    def test_empty(self):
+        stats = describe(Structure(0, ()))
+        assert stats.length == 0
+        assert stats.pairing_fraction == 0.0
+        assert stats.mean_helix_length == 0.0
+
+    def test_hairpin(self):
+        stats = describe(from_dotbracket("((..))"))
+        assert stats.n_arcs == 2
+        assert stats.n_unpaired == 2
+        assert stats.max_depth == 2
+        assert stats.n_helices == 1
+        assert stats.mean_helix_length == 2.0
+        assert stats.max_span == 5
+        assert stats.pairing_fraction == 4 / 6
+
+    def test_two_helices(self):
+        # Two stacked pairs, then a branch: helix broken by the multiloop.
+        stats = describe(from_dotbracket("((()()))"))
+        assert stats.n_helices == 3  # the outer stack of 2, two inner of 1
+        assert stats.max_depth == 3
+
+    def test_worst_case_one_giant_helix(self):
+        stats = describe(contrived_worst_case(40))
+        assert stats.n_helices == 1
+        assert stats.mean_helix_length == 20.0
+
+    @given(structures())
+    def test_invariants(self, s: Structure):
+        stats = describe(s)
+        assert stats.n_unpaired == s.length - 2 * s.n_arcs
+        assert 0.0 <= stats.pairing_fraction <= 1.0
+        assert stats.max_depth <= s.n_arcs
+
+
+class TestWorkMatrix:
+    def test_outer_product_shape(self):
+        s1 = contrived_worst_case(10)  # inside: 0..4
+        s2 = sequential_arcs(3)  # inside: 0,0,0
+        w = work_matrix(s1, s2)
+        assert w.shape == (5, 3)
+        assert (w == 0).all()  # sequential arcs spawn empty slices
+
+    def test_worst_case_values(self):
+        s = contrived_worst_case(8)  # inside: 0,1,2,3
+        w = work_matrix(s, s)
+        assert w[3, 3] == 9
+        assert w[0, 3] == 0
+        assert (w == np.outer([0, 1, 2, 3], [0, 1, 2, 3])).all()
+
+    @given(structure_pairs())
+    def test_row_invariant_column_ratios(self, pair):
+        """Figure 7's property: relative column work identical row to row."""
+        s1, s2 = pair
+        w = work_matrix(s1, s2)
+        if w.size == 0:
+            return
+        # Every row is proportional to inside_count2.
+        for row, scale in zip(w, s1.inside_count):
+            assert (row == scale * s2.inside_count).all()
+
+    @given(structure_pairs())
+    def test_column_work_consistent(self, pair):
+        s1, s2 = pair
+        w = work_matrix(s1, s2)
+        expected = w.sum(axis=0) if w.size else np.zeros(s2.n_arcs)
+        assert np.array_equal(column_work(s1, s2), expected)

@@ -1,0 +1,137 @@
+"""Stockholm / WUSS parsing and consensus projection."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError, PseudoknotError
+from repro.structure.stockholm import (
+    StockholmAlignment,
+    read_stockholm,
+    wuss_to_structure,
+)
+
+SAMPLE = """# STOCKHOLM 1.0
+#=GF ID  demo-family
+seq1         GGCA..AUGCC
+seq2         GGCAGGAU-CC
+#=GC SS_cons <<<<...>>>>
+//
+"""
+
+WRAPPED = """# STOCKHOLM 1.0
+seq1         GGCA.
+#=GC SS_cons <<<<.
+seq1         .AUGCC
+#=GC SS_cons ..>>>>
+//
+"""
+
+
+class TestWuss:
+    def test_bracket_families_all_pair(self):
+        s = wuss_to_structure("<([{.}])>")
+        assert s.n_arcs == 4
+        assert s.depth == 4
+
+    def test_unpaired_characters(self):
+        s = wuss_to_structure(".,:_-~")
+        assert s.n_arcs == 0
+        assert s.length == 6
+
+    def test_pseudoknot_letters_rejected(self):
+        with pytest.raises(PseudoknotError):
+            wuss_to_structure("<<AA>>aa", drop_pseudoknots=False)
+
+    def test_pseudoknot_letters_dropped(self):
+        s = wuss_to_structure("<<AA>>aa", drop_pseudoknots=True)
+        assert s.n_arcs == 2  # only the bracket pairs survive
+
+    def test_unbalanced(self):
+        with pytest.raises(ParseError, match="unbalanced"):
+            wuss_to_structure("<<.>")
+        with pytest.raises(ParseError, match="unbalanced"):
+            wuss_to_structure("<.>>")
+
+    def test_unclosed_knot(self):
+        with pytest.raises(ParseError, match="never closed"):
+            wuss_to_structure("AA.a")
+
+    def test_knot_close_without_open(self):
+        with pytest.raises(ParseError, match="without a matching open"):
+            wuss_to_structure("..a")
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError, match="unexpected"):
+            wuss_to_structure("<|>")
+
+
+class TestReadStockholm:
+    def test_basic(self):
+        alignment = read_stockholm(io.StringIO(SAMPLE))
+        assert alignment.names == ("seq1", "seq2")
+        assert alignment.width == 11
+        assert alignment.consensus.n_arcs == 4
+
+    def test_wrapped_blocks_concatenate(self):
+        wrapped = read_stockholm(io.StringIO(WRAPPED))
+        single = read_stockholm(io.StringIO(SAMPLE))
+        assert wrapped.consensus == single.consensus
+        assert wrapped.sequences["seq1"] == single.sequences["seq1"]
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match="STOCKHOLM"):
+            read_stockholm(io.StringIO("seq1 ACGU\n"))
+
+    def test_missing_ss_cons(self):
+        text = "# STOCKHOLM 1.0\nseq1 ACGU\n//\n"
+        with pytest.raises(ParseError, match="SS_cons"):
+            read_stockholm(io.StringIO(text))
+
+    def test_width_mismatch(self):
+        text = "# STOCKHOLM 1.0\nseq1 ACG\n#=GC SS_cons <..>\n//\n"
+        with pytest.raises(ParseError, match="width"):
+            read_stockholm(io.StringIO(text))
+
+    def test_malformed_sequence_line(self):
+        text = "# STOCKHOLM 1.0\nseq1 ACG U\n#=GC SS_cons ....\n//\n"
+        with pytest.raises(ParseError, match="fields"):
+            read_stockholm(io.StringIO(text))
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "family.sto"
+        path.write_text(SAMPLE)
+        alignment = read_stockholm(path)
+        assert alignment.width == 11
+
+
+class TestProjection:
+    @pytest.fixture
+    def alignment(self) -> StockholmAlignment:
+        return read_stockholm(io.StringIO(SAMPLE))
+
+    def test_ungapped_sequence_keeps_all_pairs(self, alignment):
+        s2 = alignment.project("seq2")
+        # seq2 has one gap at a paired column? Column 8 is '>', seq2[8]='-'.
+        assert s2.length == 10
+        assert s2.n_arcs == 3  # one pair lost to the gap
+        assert s2.sequence == "GGCAGGAUCC"
+
+    def test_gaps_in_loop_lose_nothing(self, alignment):
+        s1 = alignment.project("seq1")
+        # seq1's gaps sit in unpaired columns (4, 5).
+        assert s1.length == 9
+        assert s1.n_arcs == 4
+
+    def test_unknown_name(self, alignment):
+        with pytest.raises(KeyError, match="no sequence"):
+            alignment.project("nope")
+
+    def test_projection_feeds_comparison(self, alignment):
+        from repro.core.srna2 import srna2
+
+        s1 = alignment.project("seq1")
+        s2 = alignment.project("seq2")
+        score = srna2(s1, s2).score
+        # The shared consensus guarantees the common pairs survive in both.
+        assert score == 3

@@ -1,0 +1,103 @@
+"""Batch search and similarity matrices."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.batch import SearchHit, score_matrix, search
+from repro.core.srna2 import srna2
+from repro.errors import ReproError
+from repro.structure.arcs import Structure
+from repro.structure.generators import rna_like_structure
+
+
+@pytest.fixture(scope="module")
+def database() -> dict[str, Structure]:
+    return {
+        f"family-{k}": rna_like_structure(80, 18, seed=500 + k)
+        for k in range(4)
+    }
+
+
+class TestSearch:
+    def test_ranks_self_first(self, database):
+        query = database["family-1"]
+        hits = search(query, database)
+        assert hits[0].name == "family-1"
+        assert hits[0].score == query.n_arcs
+        assert hits[0].query_coverage == 1.0
+
+    def test_scores_match_direct(self, database):
+        query = rna_like_structure(60, 14, seed=9)
+        hits = {hit.name: hit.score for hit in search(query, database)}
+        for name, target in database.items():
+            assert hits[name] == srna2(query, target).score
+
+    def test_sorted_best_first_then_name(self, database):
+        query = rna_like_structure(60, 14, seed=9)
+        hits = search(query, database)
+        keys = [(-hit.score, hit.name) for hit in hits]
+        assert keys == sorted(keys)
+
+    def test_accepts_pairs_iterable(self, database):
+        query = database["family-0"]
+        hits = search(query, list(database.items()))
+        assert len(hits) == len(database)
+
+    def test_parallel_matches_serial(self, database):
+        query = rna_like_structure(60, 14, seed=11)
+        serial = search(query, database, n_workers=1)
+        parallel = search(query, database, n_workers=3)
+        assert serial == parallel
+
+    def test_invalid_workers(self, database):
+        with pytest.raises(ReproError):
+            search(database["family-0"], database, n_workers=0)
+
+    def test_empty_database(self, database):
+        assert search(database["family-0"], {}) == []
+
+    def test_coverage_fields(self):
+        hit = SearchHit(name="x", score=3, query_arcs=6, target_arcs=12)
+        assert hit.query_coverage == 0.5
+        assert hit.target_coverage == 0.25
+        assert SearchHit("y", 0, 0, 0).query_coverage == 0.0
+
+
+class TestScoreMatrix:
+    def test_symmetric_with_selfcount_diagonal(self, database):
+        names, matrix = score_matrix(database)
+        assert names == sorted(database)
+        assert np.array_equal(matrix, matrix.T)
+        for index, name in enumerate(names):
+            assert matrix[index, index] == database[name].n_arcs
+
+    def test_entries_match_direct(self, database):
+        names, matrix = score_matrix(database)
+        direct = srna2(database[names[0]], database[names[1]]).score
+        assert matrix[0, 1] == direct
+
+    def test_parallel_matches_serial(self, database):
+        _, serial = score_matrix(database, n_workers=1)
+        _, parallel = score_matrix(database, n_workers=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_single_structure(self):
+        s = rna_like_structure(40, 9, seed=1)
+        names, matrix = score_matrix({"only": s})
+        assert names == ["only"]
+        assert matrix.tolist() == [[9]]
+
+
+class TestStructurePickling:
+    """The process-pool path requires structures to round-trip pickle."""
+
+    def test_round_trip(self):
+        s = rna_like_structure(60, 14, seed=2)
+        clone = pickle.loads(pickle.dumps(s))
+        assert clone == s
+        assert clone.partner_of(clone.arcs[0].left) == clone.arcs[0].right
+        # Derived caches still work after unpickling.
+        assert clone.inside_count.sum() == s.inside_count.sum()
+        assert srna2(clone, clone).score == s.n_arcs

@@ -1,0 +1,134 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.structure.io import write_vienna
+from repro.structure.generators import contrived_worst_case
+
+
+class TestCompare:
+    def test_dotbracket_args(self, capsys):
+        assert main(["compare", "((()))(())", "(())((()))"]) == 0
+        out = capsys.readouterr().out
+        assert "MCOS score: 4" in out
+
+    def test_backtrace(self, capsys):
+        assert main(["compare", "(())", "(())", "--backtrace"]) == 0
+        out = capsys.readouterr().out
+        assert "matched arc pairs" in out
+        assert "(0, 3) <-> (0, 3)" in out
+
+    def test_file_inputs(self, tmp_path, capsys):
+        path = tmp_path / "w.vienna"
+        write_vienna(contrived_worst_case(10), path)
+        assert main(["compare", str(path), str(path)]) == 0
+        assert "MCOS score: 5" in capsys.readouterr().out
+
+    def test_algorithm_choice(self, capsys):
+        assert main(["compare", "(())", "(())", "--algorithm", "topdown"]) == 0
+        assert "topdown" in capsys.readouterr().out
+
+    def test_bad_input(self, capsys):
+        assert main(["compare", "/nonexistent/file.xyz", "()"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_worst_case_stdout(self, capsys):
+        assert main(["generate", "worst-case", "--length", "8"]) == 0
+        assert capsys.readouterr().out.strip() == "(((())))"
+
+    def test_comb(self, capsys):
+        assert main(["generate", "comb", "--teeth", "2", "--depth", "2"]) == 0
+        assert capsys.readouterr().out.strip() == "(())(())"
+
+    def test_random_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "r.bpseq"
+        assert (
+            main(
+                [
+                    "generate", "random", "--length", "30", "--arcs", "8",
+                    "--seed", "3", "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        from repro.structure.io import read_bpseq
+
+        assert read_bpseq(out_path).n_arcs == 8
+
+    def test_rna_like_ct(self, tmp_path):
+        out_path = tmp_path / "r.ct"
+        assert (
+            main(
+                [
+                    "generate", "rna-like", "--length", "60",
+                    "-o", str(out_path),
+                ]
+            )
+            == 0
+        )
+        from repro.structure.io import read_ct
+
+        assert read_ct(out_path).length == 60
+
+
+class TestDescribe:
+    def test_inline(self, capsys):
+        assert main(["describe", "((..))"]) == 0
+        out = capsys.readouterr().out
+        assert "length:            6" in out
+        assert "max nesting depth: 2" in out
+
+    def test_draw_flag(self, capsys):
+        assert main(["describe", "((..))", "--draw"]) == 0
+        out = capsys.readouterr().out
+        assert ".----." in out
+        assert "((..))" in out
+
+
+class TestSearch:
+    def test_ranks_targets(self, tmp_path, capsys):
+        from repro.structure.generators import rna_like_structure
+
+        query = rna_like_structure(60, 14, seed=31)
+        paths = []
+        for k in range(3):
+            target = rna_like_structure(60, 14, seed=31 + k)
+            path = tmp_path / f"target-{k}.vienna"
+            write_vienna(target, path)
+            paths.append(str(path))
+        assert main(["search", str(paths[0]), *paths]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        # First-ranked hit is the query itself, full coverage.
+        assert "target-0" in lines[2]
+        assert "100.0%" in lines[2]
+
+    def test_workers_flag(self, tmp_path, capsys):
+        path = tmp_path / "t.vienna"
+        write_vienna(contrived_worst_case(20), path)
+        assert main(
+            ["search", "(((...)))", str(path), "--workers", "2"]
+        ) == 0
+        assert "rank" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_default_worst_case(self, capsys):
+        assert main(["simulate", "--length", "400", "--procs", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "P=  1" in out and "P=  4" in out
+        assert "speedup" in out
+
+
+class TestMisc:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

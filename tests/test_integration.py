@@ -1,0 +1,95 @@
+"""Cross-module integration tests: full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro import from_dotbracket, mcos, to_dotbracket
+from repro.core.backtrace import backtrace, verify_matching
+from repro.core.srna2 import srna2
+from repro.parallel.prna import prna
+from repro.parallel.simulator import PRNASimulator
+from repro.structure.generators import rna_like_structure
+from repro.structure.io import load_structure, write_bpseq, write_vienna
+
+
+class TestFileToScorePipeline:
+    def test_generate_save_load_compare_backtrace(self, tmp_path):
+        """The full quickstart path: synthesize two structures, write them
+        in different formats, reload, compare with every algorithm, and
+        verify the certificate."""
+        s1 = rna_like_structure(120, 28, seed=100)
+        s2 = rna_like_structure(140, 33, seed=200)
+        path1 = tmp_path / "a.bpseq"
+        path2 = tmp_path / "b.vienna"
+        write_bpseq(s1, path1)
+        write_vienna(s2, path2)
+
+        loaded1 = load_structure(path1)
+        loaded2 = load_structure(path2)
+        assert loaded1 == s1 and loaded2 == s2
+
+        result = mcos(loaded1, loaded2, with_backtrace=True, instrument=True)
+        assert result.matched_pairs is not None
+        assert len(result.matched_pairs) == result.score
+        verify_matching(loaded1, loaded2, result.matched_pairs)
+
+        for algorithm in ("srna1", "topdown"):
+            assert mcos(loaded1, loaded2, algorithm=algorithm).score == result.score
+
+    def test_dotbracket_round_trip_through_comparison(self):
+        text = "((..((..))..))(())"
+        s = from_dotbracket(text)
+        assert to_dotbracket(s) == text
+        assert mcos(s, s).score == s.n_arcs
+
+
+class TestParallelPipeline:
+    def test_sequential_parallel_simulated_consistency(self):
+        """One instance, three views: SRNA2, executed PRNA, and the
+        closed-form simulator must tell one coherent story."""
+        s = rna_like_structure(200, 48, seed=5)
+        sequential = srna2(s, s)
+        parallel = prna(s, s, 3, backend="thread", validate=True)
+        assert parallel.score == sequential.score == 48
+        assert np.array_equal(parallel.memo.values, sequential.memo.values)
+
+        certificate = backtrace(parallel.memo, s, s)
+        assert len(certificate) == 48
+        verify_matching(s, s, certificate)
+
+        report = PRNASimulator().simulate(s, s, 3)
+        assert report.n_ranks == 3
+        assert report.total_seconds > 0
+
+    def test_database_search_scenario(self):
+        """Score one query against a small 'database' and rank hits —
+        the workload the paper's introduction motivates."""
+        query = rna_like_structure(80, 18, seed=42)
+        database = {
+            f"family-{k}": rna_like_structure(90, 20, seed=k) for k in range(5)
+        }
+        database["self"] = query
+        scores = {
+            name: mcos(query, target).score
+            for name, target in database.items()
+        }
+        ranked = sorted(scores, key=scores.get, reverse=True)
+        assert ranked[0] == "self"
+        assert scores["self"] == query.n_arcs
+
+
+class TestErrorPathsAcrossModules:
+    def test_pseudoknot_rejected_at_the_door(self):
+        from repro.errors import PseudoknotError
+        from repro.structure.arcs import Structure
+
+        with pytest.raises(PseudoknotError):
+            Structure(6, [(0, 3), (2, 5)])
+
+    def test_experiment_error_wrapping(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])  # argparse rejects
+        del ExperimentError
