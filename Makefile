@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench experiments verify examples coverage clean
+.PHONY: install test bench experiments verify trace-demo examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -16,8 +16,17 @@ bench:
 experiments:
 	$(PYTHON) -m repro.experiments all --scale quick --json results.json
 
-verify:
-	$(PYTHON) -m repro.experiments verify
+verify: trace-demo
+	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
+
+# Tiny traced PRNA run: emits a Chrome trace (one track per rank),
+# validates the JSON schema on load, and prints the Figure 8 breakdown.
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.cli simulate --length 120 \
+		--procs 1,2,4 --trace trace-demo.json --trace-ranks 4
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace-report trace-demo.json
+	@rm -f trace-demo.json
+	@echo "trace-demo: trace schema valid"
 
 examples:
 	@for script in examples/*.py; do \

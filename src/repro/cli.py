@@ -6,7 +6,13 @@ Subcommands:
 * ``generate`` — emit a synthetic structure in a chosen format;
 * ``describe FILE`` — structure statistics;
 * ``simulate`` — simulated PRNA speedup for a structure/cluster;
+* ``trace-report FILE`` — per-rank compute/comm-wait/idle summary of a
+  Chrome trace produced by ``--trace``;
 * ``experiments ...`` — forwards to ``python -m repro.experiments``.
+
+``compare`` and ``simulate`` accept ``--trace PATH`` (write a Perfetto-
+loadable Chrome trace-event file) and ``--metrics PATH`` (append one JSONL
+run record with a run id and environment snapshot).
 """
 
 from __future__ import annotations
@@ -44,6 +50,30 @@ def _load(arg: str) -> Structure:
     )
 
 
+def _write_trace(tracer, path: str) -> None:
+    try:
+        tracer.write(path)
+    except OSError as exc:
+        raise ReproError(f"cannot write trace to {path}: {exc}") from exc
+    print(f"trace written to {path} (open in ui.perfetto.dev, or run "
+          f"'repro-rna trace-report {path}')")
+
+
+def _append_metrics(path: str, kind: str, parameters: dict, metrics: dict) -> None:
+    from repro.obs.runrecord import RunRecord, append_run_record, new_run_id
+
+    run_id = new_run_id()
+    try:
+        append_run_record(
+            path,
+            RunRecord(run_id=run_id, kind=kind, parameters=parameters,
+                      metrics=metrics),
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot write run record to {path}: {exc}") from exc
+    print(f"run record appended to {path} (run id {run_id})")
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     s1 = _load(args.first)
     s2 = _load(args.second)
@@ -52,8 +82,17 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
         print(render_comparison(s1, s2))
         return 0
+    tracer = None
+    inst = None
+    if args.trace or args.metrics:
+        from repro.core.instrument import Instrumentation
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer() if args.trace else None
+        inst = Instrumentation(tracer=tracer)
     result = mcos(
-        s1, s2, algorithm=args.algorithm, with_backtrace=args.backtrace
+        s1, s2, algorithm=args.algorithm, with_backtrace=args.backtrace,
+        instrumentation=inst,
     )
     print(f"MCOS score: {result.score}")
     print(f"algorithm:  {result.algorithm}")
@@ -64,6 +103,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         ordered = sorted(result.matched_pairs, key=lambda p: p.arc1.left)
         for pair in ordered:
             print(f"  {tuple(pair.arc1)} <-> {tuple(pair.arc2)}")
+    if tracer is not None:
+        _write_trace(tracer, args.trace)
+    if args.metrics:
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        inst.to_metrics(registry)
+        _append_metrics(
+            args.metrics,
+            "compare",
+            {"algorithm": args.algorithm, "s1_arcs": s1.n_arcs,
+             "s2_arcs": s2.n_arcs, "score": result.score},
+            registry.as_dict(),
+        )
     return 0
 
 
@@ -145,13 +198,61 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     ranks = [int(p) for p in args.procs.split(",")]
     print(f"simulated PRNA speedup ({structure.length} nt, "
           f"{structure.n_arcs} arcs):")
-    for report in simulator.sweep(structure, structure, ranks):
+    reports = simulator.sweep(structure, structure, ranks)
+    for report in reports:
         print(
             f"  P={report.n_ranks:>3}: speedup {report.speedup:6.2f}x  "
             f"efficiency {report.efficiency:5.1%}  "
             f"(comm {report.comm_seconds:.2f}s of "
             f"{report.total_seconds:.2f}s)"
         )
+    executed_stats = None
+    if args.trace:
+        from repro.obs.tracer import Tracer
+        from repro.parallel.prna import prna
+
+        tracer = Tracer()
+        executed = prna(
+            structure, structure, args.trace_ranks,
+            backend="thread", partitioner=args.partitioner,
+            tracer=tracer, collect_stats=True,
+        )
+        executed_stats = executed.comm_stats
+        print(
+            f"executed a traced {args.trace_ranks}-rank PRNA run "
+            f"(score {executed.score}, "
+            f"{(executed_stats or {}).get('allreduces', 0)} Allreduces)"
+        )
+        _write_trace(tracer, args.trace)
+    if args.metrics:
+        _append_metrics(
+            args.metrics,
+            "simulate",
+            {
+                "length": structure.length,
+                "n_arcs": structure.n_arcs,
+                "partitioner": args.partitioner,
+                "procs": ranks,
+                "trace_ranks": args.trace_ranks if args.trace else None,
+            },
+            {
+                "speedups": {
+                    str(report.n_ranks): report.speedup for report in reports
+                },
+                "comm_stats": executed_stats,
+            },
+        )
+    return 0
+
+
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import summarize_trace
+
+    try:
+        report = summarize_trace(args.file)
+    except (OSError, ValueError) as exc:
+        raise ReproError(str(exc)) from exc
+    print(report.render())
     return 0
 
 
@@ -179,6 +280,14 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument(
         "--report", action="store_true",
         help="full text report (stats, certificate, alignment, diagrams)",
+    )
+    compare.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event file of the run's stage spans",
+    )
+    compare.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="append a JSONL run record (counters, stage times) to PATH",
     )
     compare.set_defaults(func=_cmd_compare)
 
@@ -220,7 +329,29 @@ def main(argv: list[str] | None = None) -> int:
         "--partitioner", default="greedy",
         choices=("greedy", "block", "cyclic"),
     )
+    simulate.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help=(
+            "also execute a traced PRNA run on the thread backend and "
+            "write its per-rank timeline as a Chrome trace-event file"
+        ),
+    )
+    simulate.add_argument(
+        "--trace-ranks", type=int, default=4,
+        help="world size of the executed traced run (default 4)",
+    )
+    simulate.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="append a JSONL run record (speedups, comm stats) to PATH",
+    )
     simulate.set_defaults(func=_cmd_simulate)
+
+    trace_report = sub.add_parser(
+        "trace-report",
+        help="per-rank compute/comm-wait/idle summary of a trace file",
+    )
+    trace_report.add_argument("file", help="Chrome trace-event JSON path")
+    trace_report.set_defaults(func=_cmd_trace_report)
 
     args = parser.parse_args(argv)
     try:

@@ -59,6 +59,7 @@ def mcos(
     engine: str = "vectorized",
     with_backtrace: bool = False,
     instrument: bool = False,
+    instrumentation: Instrumentation | None = None,
 ) -> CommonStructureResult:
     """Maximum Common Ordered Substructure of two structures.
 
@@ -74,10 +75,17 @@ def mcos(
         Also recover the matched arc pairs (requires ``srna1``/``srna2``).
     instrument:
         Attach operation counters and stage timers to the result.
+    instrumentation:
+        Use this caller-owned :class:`Instrumentation` instead of creating
+        one — e.g. one carrying a :class:`repro.obs.tracer.Tracer` so stage
+        spans land in a trace file.  Implies ``instrument``.
     """
     s1 = _coerce(s1)
     s2 = _coerce(s2)
-    inst = Instrumentation() if instrument else None
+    if instrumentation is not None:
+        inst = instrumentation
+    else:
+        inst = Instrumentation() if instrument else None
     if algorithm == "srna2":
         run = srna2(s1, s2, engine=engine, instrumentation=inst)
         pairs = backtrace(run.memo, s1, s2) if with_backtrace else None

@@ -15,7 +15,11 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["Instrumentation", "StageTimes"]
+__all__ = ["Instrumentation", "StageTimes", "STAGES"]
+
+#: The three stages of the paper's algorithms (Table III rows).  These are
+#: the only names :meth:`Instrumentation.stage` accepts.
+STAGES = ("preprocessing", "stage_one", "stage_two")
 
 
 @dataclass
@@ -54,6 +58,10 @@ class Instrumentation:
     max_recursion_depth: int = 0
     _recursion_depth: int = field(default=0, repr=False)
     stage_times: StageTimes = field(default_factory=StageTimes)
+    #: Optional :class:`repro.obs.tracer.Tracer`; when set, :meth:`stage`
+    #: also emits a span (category ``"stage"``) on track ``trace_rank``.
+    tracer: object | None = field(default=None, repr=False, compare=False)
+    trace_rank: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     def count_slice(self, n_cells: int) -> None:
@@ -82,12 +90,30 @@ class Instrumentation:
 
     @contextmanager
     def stage(self, name: str):
-        """Time a named stage (``preprocessing``/``stage_one``/``stage_two``)."""
+        """Time a named stage (``preprocessing``/``stage_one``/``stage_two``).
+
+        Unknown names raise :class:`ValueError` — a silent ``setattr``
+        would create a stray attribute that never counts toward
+        :attr:`StageTimes.total`, corrupting Table III shares.
+        """
+        if name not in STAGES:
+            raise ValueError(
+                f"unknown stage {name!r}; one of {STAGES}"
+            )
+        span = (
+            self.tracer.span(name, rank=self.trace_rank, category="stage")
+            if self.tracer is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            if span is not None:
+                span.__exit__(None, None, None)
             setattr(
                 self.stage_times, name, getattr(self.stage_times, name) + elapsed
             )
@@ -107,3 +133,18 @@ class Instrumentation:
             "time_total": self.stage_times.total,
         }
         return out
+
+    def to_metrics(self, registry, prefix: str = "") -> None:
+        """Feed every counter and stage time into a metrics registry.
+
+        *registry* is a :class:`repro.obs.metrics.MetricsRegistry` (duck-
+        typed to keep :mod:`repro.core` free of observability imports):
+        integer counters become registry counters, stage seconds become
+        gauges.
+        """
+        for key, value in self.summary().items():
+            name = prefix + key
+            if key.startswith("time_"):
+                registry.gauge(name).set(float(value))
+            else:
+                registry.counter(name).inc(int(value))

@@ -101,8 +101,10 @@ def run(scale: str = "default", validate_executed: bool = True) -> ExperimentRec
                 structure, structure, p,
                 backend="thread", charge="analytic",
                 work_model=work_model, cost_model=cost_model,
+                collect_stats=True,
             )
             predicted = simulator.simulate(structure, structure, p)
+            stats = executed.comm_stats or {}
             records.append(
                 {
                     "problem": f"executed-validation ({VALIDATE_LENGTH})",
@@ -110,6 +112,11 @@ def run(scale: str = "default", validate_executed: bool = True) -> ExperimentRec
                     "n_ranks": p,
                     "executed_virtual_seconds": executed.simulated_time,
                     "simulated_seconds": predicted.total_seconds,
+                    # Measured communication pattern (paper §V-B: one row
+                    # Allreduce per outer arc).
+                    "allreduces": stats.get("allreduces"),
+                    "allreduce_bytes": stats.get("allreduce_bytes"),
+                    "bcasts": stats.get("bcasts"),
                 }
             )
             if executed.simulated_time:

@@ -10,8 +10,25 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro._version import __version__
+from repro.obs.runrecord import RunRecord, append_run_record, new_run_id
+from repro.perf.timing import TimingResult
 
-__all__ = ["ExperimentRecord", "ExperimentReport"]
+__all__ = ["ExperimentRecord", "ExperimentReport", "timing_summary"]
+
+
+def timing_summary(timing: TimingResult, prefix: str = "") -> dict[str, Any]:
+    """best/median/mean/stdev of a timing, ready to embed in record rows.
+
+    Experiments report the *median* alongside best and mean because the
+    mean is skewed by first-call warm-up on short runs.
+    """
+    return {
+        prefix + "best": timing.best,
+        prefix + "median": timing.median,
+        prefix + "mean": timing.mean,
+        prefix + "stdev": timing.stdev,
+        prefix + "samples": len(timing.samples),
+    }
 
 
 @dataclass
@@ -32,9 +49,15 @@ class ExperimentRecord:
 
 @dataclass
 class ExperimentReport:
-    """A collection of experiment records plus environment metadata."""
+    """A collection of experiment records plus environment metadata.
+
+    Every report carries a fresh run id, so its JSON artifact and any
+    JSONL run records appended via :meth:`append_run_records` are
+    attributable to the same run.
+    """
 
     records: list[ExperimentRecord] = field(default_factory=list)
+    run_id: str = field(default_factory=new_run_id)
 
     def add(self, record: ExperimentRecord) -> None:
         """Append one experiment's record to the report."""
@@ -53,10 +76,35 @@ class ExperimentReport:
     def to_json(self, indent: int = 2) -> str:
         """The full report (environment + experiments) as JSON text."""
         payload = {
+            "run_id": self.run_id,
             "environment": self.environment(),
             "experiments": [record.to_dict() for record in self.records],
         }
         return json.dumps(payload, indent=indent)
+
+    def append_run_records(self, path: str) -> int:
+        """Append one JSONL run record per experiment to *path*.
+
+        Each line carries the report's run id, the experiment's parameters
+        and rows, and an environment snapshot — the harness's append-only
+        metrics log (see :mod:`repro.obs.runrecord`).  Returns the number
+        of records written.
+        """
+        for record in self.records:
+            append_run_record(
+                path,
+                RunRecord(
+                    run_id=self.run_id,
+                    kind=record.experiment,
+                    parameters=dict(record.parameters),
+                    metrics={
+                        "paper_reference": record.paper_reference,
+                        "rows": record.rows,
+                        "notes": record.notes,
+                    },
+                ),
+            )
+        return len(self.records)
 
     def save(self, path: str) -> None:
         """Write the JSON report to *path*."""

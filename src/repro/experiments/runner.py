@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.obs.tracer import Tracer
 from repro.experiments import (
     ablations,
     efficiency,
@@ -99,6 +101,24 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write a machine-readable JSON report to PATH",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "record one span per experiment and write a Chrome trace-event "
+            "file to PATH (open in ui.perfetto.dev)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help=(
+            "append one JSONL run record per experiment (run id, parameters, "
+            "rows, environment snapshot) to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
 
     names = sorted(RUNNERS) if "all" in args.experiments else args.experiments
@@ -107,10 +127,19 @@ def main(argv: list[str] | None = None) -> int:
         if name not in seen:
             seen.append(name)
 
+    tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        tracer.name_track(0, "experiments")
     report = ExperimentReport()
     for name in seen:
+        span = (
+            tracer.span(name, category="experiment", scale=args.scale)
+            if tracer is not None
+            else nullcontext()
+        )
         try:
-            records = RUNNERS[name](args.scale)
+            with span:
+                records = RUNNERS[name](args.scale)
         except Exception as exc:
             raise ExperimentError(f"experiment {name!r} failed: {exc}") from exc
         for record in records:
@@ -122,6 +151,15 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         report.save(args.json)
         print(f"JSON report written to {args.json}")
+    if tracer is not None:
+        tracer.write(args.trace)
+        print(f"trace written to {args.trace} (run id {report.run_id})")
+    if args.metrics:
+        written = report.append_run_records(args.metrics)
+        print(
+            f"{written} run record(s) appended to {args.metrics} "
+            f"(run id {report.run_id})"
+        )
     return 0
 
 

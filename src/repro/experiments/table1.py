@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.analysis.tables import format_table
 from repro.core.srna1 import srna1
 from repro.core.srna2 import srna2
-from repro.experiments.report import ExperimentRecord
+from repro.experiments.report import ExperimentRecord, timing_summary
 from repro.perf.timing import time_call
 from repro.structure.generators import contrived_worst_case
 
@@ -47,6 +47,7 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
     lengths = LENGTHS[scale]
     measured: dict[str, dict[int, float]] = {"SRNA1": {}, "SRNA2": {}}
     scores: dict[int, int] = {}
+    timings: dict[int, dict] = {}
     for length in lengths:
         structure = contrived_worst_case(length)
         t2 = time_call(lambda: srna2(structure, structure), repeat=repeat)
@@ -55,6 +56,10 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
         measured["SRNA1"][length] = t1.best
         measured["SRNA2"][length] = t2.best
         scores[length] = t2.value.score
+        timings[length] = {
+            **timing_summary(t1, "srna1_"),
+            **timing_summary(t2, "srna2_"),
+        }
 
     rows = []
     for algo in ("SRNA1", "SRNA2"):
@@ -93,6 +98,7 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
             "score": scores[length],
             "paper_srna1": PAPER_TIMES["SRNA1"].get(length),
             "paper_srna2": PAPER_TIMES["SRNA2"].get(length),
+            **timings[length],
         }
         for length in lengths
     ]

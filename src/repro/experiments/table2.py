@@ -26,7 +26,7 @@ from __future__ import annotations
 from repro.analysis.tables import format_table
 from repro.core.srna1 import srna1
 from repro.core.srna2 import srna2
-from repro.experiments.report import ExperimentRecord
+from repro.experiments.report import ExperimentRecord, timing_summary
 from repro.perf.timing import time_call
 from repro.structure.arcs import Structure
 from repro.structure.datasets import REGISTRY, get_dataset
@@ -73,6 +73,8 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
                 "paper_srna1": PAPER_TIMES[name]["SRNA1"],
                 "paper_srna2": PAPER_TIMES[name]["SRNA2"],
                 "score": t2.value.score,
+                **timing_summary(t1, "srna1_"),
+                **timing_summary(t2, "srna2_"),
             }
         )
 

@@ -1,0 +1,51 @@
+"""repro.obs — unified tracing and metrics for the whole library.
+
+"No optimization without measuring" (ROADMAP): this package is the common
+substrate every experiment and performance PR reports against.
+
+* :mod:`repro.obs.tracer` — span-based tracing with one track per PRNA
+  rank, exported as Chrome trace-event JSON (open in https://ui.perfetto.dev);
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  in a thread-safe registry;
+* :mod:`repro.obs.runrecord` — append-only JSONL run records carrying a
+  run id and environment snapshot;
+* :mod:`repro.obs.report` — per-rank compute/comm-wait/idle summaries of a
+  trace file (Figure 8's categories), backing ``repro-rna trace-report``.
+
+See ``docs/observability.md`` for the event model and a worked example.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import RankSummary, TraceReport, summarize_trace
+from repro.obs.runrecord import (
+    RunRecord,
+    append_run_record,
+    environment_snapshot,
+    load_run_records,
+    new_run_id,
+)
+from repro.obs.tracer import (
+    SpanEvent,
+    Tracer,
+    load_chrome_trace,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RankSummary",
+    "RunRecord",
+    "SpanEvent",
+    "TraceReport",
+    "Tracer",
+    "append_run_record",
+    "environment_snapshot",
+    "load_chrome_trace",
+    "load_run_records",
+    "new_run_id",
+    "summarize_trace",
+    "validate_chrome_trace",
+]

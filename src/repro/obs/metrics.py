@@ -1,0 +1,221 @@
+"""Metrics registry — counters, gauges and fixed-bucket histograms.
+
+The experiment harness needs numbers, not prose: how many Allreduces, how
+many cells tabulated, how long each stage took.  The registry gives every
+producer (:class:`~repro.core.instrument.Instrumentation`,
+:class:`~repro.mpi.communicator.CommStats`, the CLI commands) one sink with
+a stable JSON snapshot, which :mod:`repro.obs.runrecord` appends to a
+run-record log.
+
+The instruments are deliberately tiny and Prometheus-flavoured:
+
+* :class:`Counter` — monotonically increasing total;
+* :class:`Gauge` — last-written value;
+* :class:`Histogram` — fixed upper-bound buckets plus an implicit overflow
+  bucket, with ``sum`` and ``count`` so means survive aggregation.
+
+All instruments are thread-safe; producers on PRNA's thread backend may
+feed the same registry concurrently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus defaults).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add *amount* (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        """The current total as a JSON-serializable value."""
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down; reports the last write."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's value."""
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Shift the gauge by *amount* (may be negative)."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> float:
+        """The current value as a JSON-serializable value."""
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit +inf overflow bucket.
+
+    An observation ``v`` lands in the first bucket whose upper bound
+    satisfies ``v <= bound``; values above every bound land in the
+    overflow bucket.  Bucket counts are *not* cumulative (unlike
+    Prometheus exposition) — each entry counts only its own bucket.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {name!r} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} has duplicate bucket bounds")
+        self.name = name
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # + overflow
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def buckets(self) -> tuple[float, ...]:
+        """Upper bounds, ascending (overflow bucket implied)."""
+        return self._bounds
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket counts; the last entry is the overflow bucket."""
+        return tuple(self._counts)
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """Bounds, per-bucket counts, sum and count as one JSON dict."""
+        with self._lock:
+            return {
+                "buckets": list(self._bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create semantics and a JSON snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _check_free(self, name: str, kind: str) -> None:
+        for other_kind, table in (
+            ("counter", self._counters),
+            ("gauge", self._gauges),
+            ("histogram", self._histograms),
+        ):
+            if other_kind != kind and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}"
+                )
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter *name*."""
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                self._check_free(name, "counter")
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge *name*."""
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                self._check_free(name, "gauge")
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] | None = None
+    ) -> Histogram:
+        """Get or create the histogram *name* (buckets fixed at creation)."""
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                self._check_free(name, "histogram")
+                instrument = self._histograms[name] = Histogram(
+                    name, buckets if buckets is not None else DEFAULT_BUCKETS
+                )
+            return instrument
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-serializable snapshot of every instrument."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.snapshot() for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.snapshot() for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.snapshot()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }

@@ -1,0 +1,168 @@
+"""Per-rank trace summaries — Figure 8's categories from a trace file.
+
+Given a Chrome trace produced by :class:`~repro.obs.tracer.Tracer`, compute
+each rank's **compute / comm-wait / idle** seconds over the run's wall
+window, the same decomposition the paper's Figure 8 (and
+:meth:`~repro.parallel.simulator.PRNASimulator.trace`) uses to explain
+parallel efficiency.  ``repro-rna trace-report PATH`` renders it as text.
+
+Accounting rules:
+
+* spans with category ``"compute"`` are busy tabulation time;
+* spans with category ``"comm"`` are time inside (or blocked at) a
+  collective — the executed analogue of the simulator's wait + comm;
+* any other category (``"stage"``, ``"experiment"``, ...) is an annotation
+  and excluded from busy time, so nesting stage spans around row spans does
+  not double-count;
+* idle is the remainder of the global wall window (first span start to
+  last span end across *all* ranks), which is exactly the "waiting for
+  slower ranks / not yet started / already finished" time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.tracer import SpanEvent, load_chrome_trace
+
+__all__ = ["RankSummary", "TraceReport", "summarize_events", "summarize_trace"]
+
+#: Categories entering the busy-time accounting.
+COMPUTE_CATEGORY = "compute"
+COMM_CATEGORY = "comm"
+
+
+@dataclass(frozen=True)
+class RankSummary:
+    """One rank's share of the wall window, Figure-8 style."""
+
+    rank: int
+    track: str
+    compute_seconds: float
+    comm_seconds: float
+    idle_seconds: float
+    n_spans: int
+
+    @property
+    def busy_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.busy_seconds + self.idle_seconds
+
+    def shares(self) -> dict[str, float]:
+        """compute/comm/idle as percentages of the wall window."""
+        wall = self.wall_seconds
+        if wall <= 0.0:
+            return {"compute": 0.0, "comm": 0.0, "idle": 0.0}
+        return {
+            "compute": 100.0 * self.compute_seconds / wall,
+            "comm": 100.0 * self.comm_seconds / wall,
+            "idle": 100.0 * self.idle_seconds / wall,
+        }
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Per-rank summaries plus the global wall window."""
+
+    ranks: tuple[RankSummary, ...]
+    wall_seconds: float
+
+    def render(self) -> str:
+        """Fixed-width per-rank table (the `trace-report` CLI output)."""
+        lines = [
+            f"per-rank timeline over a {self.wall_seconds:.6f}s wall window "
+            "(compute / comm-wait / idle, Figure 8 categories):",
+            f"{'track':<12} {'compute':>12} {'comm-wait':>12} {'idle':>12} "
+            f"{'busy':>7} {'spans':>7}",
+        ]
+        for summary in self.ranks:
+            shares = summary.shares()
+            lines.append(
+                f"{summary.track:<12} "
+                f"{summary.compute_seconds:8.4f}s {shares['compute']:4.0f}% "
+                f"{summary.comm_seconds:8.4f}s {shares['comm']:4.0f}% "
+                f"{summary.idle_seconds:8.4f}s {shares['idle']:4.0f}% "
+                f"{(shares['compute'] + shares['comm']):6.1f}% "
+                f"{summary.n_spans:>7}"
+            )
+        total_compute = sum(s.compute_seconds for s in self.ranks)
+        total_comm = sum(s.comm_seconds for s in self.ranks)
+        busy = total_compute + total_comm
+        if busy > 0:
+            lines.append(
+                f"overall: {100.0 * total_compute / busy:.1f}% of busy time "
+                f"is compute, {100.0 * total_comm / busy:.1f}% is comm-wait"
+            )
+        return "\n".join(lines)
+
+
+def _events_from_chrome(payload: dict) -> tuple[list[SpanEvent], dict[int, str]]:
+    """Complete-span events and track names out of a Chrome trace object."""
+    spans: list[SpanEvent] = []
+    names: dict[int, str] = {}
+    for event in payload.get("traceEvents", []):
+        ph = event.get("ph")
+        if ph == "M" and event.get("name") == "thread_name":
+            names[int(event["tid"])] = str(event.get("args", {}).get("name", ""))
+        elif ph == "X":
+            spans.append(
+                SpanEvent(
+                    name=str(event.get("name", "")),
+                    category=str(event.get("cat", "default")),
+                    start=float(event["ts"]) / 1e6,
+                    duration=float(event["dur"]) / 1e6,
+                    rank=int(event["tid"]),
+                    args=dict(event.get("args", {})),
+                )
+            )
+    return spans, names
+
+
+def summarize_events(
+    events: list[SpanEvent] | tuple[SpanEvent, ...],
+    track_names: dict[int, str] | None = None,
+) -> TraceReport:
+    """Fold span events into per-rank compute/comm/idle summaries."""
+    track_names = track_names or {}
+    if not events:
+        return TraceReport(ranks=(), wall_seconds=0.0)
+    window_start = min(event.start for event in events)
+    window_end = max(event.end for event in events)
+    wall = window_end - window_start
+    by_rank: dict[int, list[SpanEvent]] = {}
+    for event in events:
+        by_rank.setdefault(event.rank, []).append(event)
+    summaries = []
+    for rank in sorted(by_rank):
+        compute = sum(
+            e.duration for e in by_rank[rank] if e.category == COMPUTE_CATEGORY
+        )
+        comm = sum(
+            e.duration for e in by_rank[rank] if e.category == COMM_CATEGORY
+        )
+        idle = max(wall - compute - comm, 0.0)
+        summaries.append(
+            RankSummary(
+                rank=rank,
+                track=track_names.get(rank, f"rank {rank}"),
+                compute_seconds=compute,
+                comm_seconds=comm,
+                idle_seconds=idle,
+                n_spans=len(by_rank[rank]),
+            )
+        )
+    return TraceReport(ranks=tuple(summaries), wall_seconds=wall)
+
+
+def summarize_trace(path: str) -> TraceReport:
+    """Load a Chrome trace file and summarize it per rank.
+
+    Validates the schema first (raising :class:`ValueError` on malformed
+    files), so this doubles as the `make trace-demo` check.
+    """
+    payload = load_chrome_trace(path)
+    events, names = _events_from_chrome(payload)
+    return summarize_events(events, names)

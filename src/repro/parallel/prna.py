@@ -42,6 +42,7 @@ from repro.errors import CommunicatorError, SimulationError
 from repro.mpi.communicator import Communicator, ReduceOp, SelfCommunicator
 from repro.mpi.inprocess import run_threaded
 from repro.mpi.process import run_multiprocess
+from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.perf.model import WorkModel
 from repro.scheduling.partition import PARTITIONERS, Partition
 from repro.scheduling.workload import column_weights
@@ -63,6 +64,10 @@ class PRNAResult:
     memo: DenseMemoTable
     simulated_time: float | None = None
     instrumentation: Instrumentation | None = None
+    #: ``CommStats.as_dict()`` of this rank's communicator, when stats were
+    #: enabled (``prna(collect_stats=True)`` or ``comm.enable_stats()``) —
+    #: Allreduce round/byte counts for experiment reports.
+    comm_stats: dict | None = None
 
     def __int__(self) -> int:
         return self.score
@@ -80,6 +85,7 @@ def prna_rank(
     work_model: WorkModel | None = None,
     validate: bool = False,
     instrumentation: Instrumentation | None = None,
+    tracer: Tracer | None = None,
 ) -> PRNAResult:
     """Run one rank's share of PRNA (call from SPMD context).
 
@@ -99,6 +105,11 @@ def prna_rank(
         After stage one, allgather a digest of the memo table and raise
         :class:`CommunicatorError` if ranks disagree (catches broken
         synchronization schemes).
+    tracer:
+        Optional :class:`~repro.obs.tracer.Tracer`.  Each rank records its
+        per-row tabulation spans (category ``"compute"``) and collective
+        waits (category ``"comm"``) on its own track, yielding the
+        Figure-8-style timeline ``repro-rna trace-report`` summarizes.
     """
     if sync_mode not in SYNC_MODES:
         raise ValueError(f"unknown sync_mode {sync_mode!r}; one of {SYNC_MODES}")
@@ -115,6 +126,17 @@ def prna_rank(
 
     inst = instrumentation
     n, m = s1.length, s2.length
+
+    if tracer is not None:
+        tracer.name_track(comm.rank, f"rank {comm.rank}")
+
+        def span(name: str, category: str, **args):
+            return tracer.span(name, rank=comm.rank, category=category, **args)
+
+    else:
+
+        def span(name: str, category: str, **args):
+            return NULL_SPAN
 
     def measure_start() -> float:
         return time.thread_time() if charge == "measured" else 0.0
@@ -170,13 +192,14 @@ def prna_rank(
                     if b in owned_set:
                         mark = measure_start()
                         i2, j2 = lefts2[b], rights2[b]
-                        row[i2 + 1] = tabulate(
-                            values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
-                            ranges=(
-                                r1, (int(inner2[b, 0]), int(inner2[b, 1]))
-                            ),
-                            instrumentation=inst,
-                        )
+                        with span("tabulate_pair", "compute", row=i1 + 1):
+                            row[i2 + 1] = tabulate(
+                                values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                                ranges=(
+                                    r1, (int(inner2[b, 0]), int(inner2[b, 1]))
+                                ),
+                                instrumentation=inst,
+                            )
                         measure_stop(
                             mark,
                             work_model.pair_seconds(
@@ -185,16 +208,18 @@ def prna_rank(
                             if work_model is not None
                             else 0.0,
                         )
-                    comm.Allreduce(row, ReduceOp.MAX)
+                    with span("allreduce_wait", "comm", row=i1 + 1):
+                        comm.Allreduce(row, ReduceOp.MAX)
                 continue
             mark = measure_start()
-            for b in owned:
-                i2, j2 = lefts2[b], rights2[b]
-                row[i2 + 1] = tabulate(
-                    values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
-                    ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
-                    instrumentation=inst,
-                )
+            with span("tabulate_row", "compute", row=i1 + 1, columns=len(owned)):
+                for b in owned:
+                    i2, j2 = lefts2[b], rights2[b]
+                    row[i2 + 1] = tabulate(
+                        values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                        ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
+                        instrumentation=inst,
+                    )
             analytic = (
                 work_model.row_seconds(int(inside1[a]), inside2, owned)
                 if work_model is not None
@@ -202,7 +227,8 @@ def prna_rank(
             )
             measure_stop(mark, analytic)
             if sync_mode == "row":
-                comm.Allreduce(row, ReduceOp.MAX)
+                with span("allreduce_wait", "comm", row=i1 + 1):
+                    comm.Allreduce(row, ReduceOp.MAX)
     finally:
         if stage_ctx is not None:
             stage_ctx.__exit__(None, None, None)
@@ -225,20 +251,22 @@ def prna_rank(
     try:
         if comm.rank == 0:
             mark = measure_start()
-            score = int(
-                tabulate(
-                    values, s1, s2, 0, n - 1, 0, m - 1,
-                    ranges=((0, s1.n_arcs), (0, s2.n_arcs)),
-                    instrumentation=inst,
+            with span("parent_slice", "compute"):
+                score = int(
+                    tabulate(
+                        values, s1, s2, 0, n - 1, 0, m - 1,
+                        ranges=((0, s1.n_arcs), (0, s2.n_arcs)),
+                        instrumentation=inst,
+                    )
                 )
-            )
             measure_stop(
                 mark,
                 work_model.parent_slice_seconds(s1, s2) if work_model else 0.0,
             )
         else:
             score = -1
-        score = comm.bcast(score, root=0)
+        with span("bcast_wait", "comm"):
+            score = comm.bcast(score, root=0)
         memo.store(0, 0, score)
     finally:
         if stage_ctx is not None:
@@ -252,6 +280,7 @@ def prna_rank(
         memo=memo,
         simulated_time=comm.simulated_time,
         instrumentation=inst,
+        comm_stats=comm.stats.as_dict() if comm.stats is not None else None,
     )
 
 
@@ -268,21 +297,36 @@ def prna(
     work_model: WorkModel | None = None,
     cost_model=None,
     validate: bool = False,
+    tracer: Tracer | None = None,
+    collect_stats: bool = False,
 ) -> PRNAResult:
     """Convenience driver: run PRNA on *n_ranks* and return rank 0's result.
 
     ``backend`` is ``"thread"``, ``"process"`` or ``"self"`` (the latter
     requires ``n_ranks == 1``).  When *cost_model* is given, virtual clocks
     are enabled and the returned result carries the simulated time.
+
+    With *tracer* (thread/self backends only — process ranks cannot share
+    an in-memory tracer), every rank records its timeline on its own
+    track; with ``collect_stats=True`` the result carries the rank's
+    :class:`~repro.mpi.communicator.CommStats` counters as a dict.
     """
     if n_ranks < 1:
         raise SimulationError(f"n_ranks must be >= 1, got {n_ranks}")
+    if tracer is not None and backend == "process":
+        raise SimulationError(
+            "tracing requires the 'thread' or 'self' backend; process ranks "
+            "cannot record into a shared in-memory tracer"
+        )
 
     def rank_main(comm: Communicator) -> PRNAResult:
+        if collect_stats:
+            comm.enable_stats()
         return prna_rank(
             comm, s1, s2,
             partitioner=partitioner, engine=engine, sync_mode=sync_mode,
             charge=charge, work_model=work_model, validate=validate,
+            tracer=tracer,
         )
 
     if backend == "self":

@@ -31,6 +31,11 @@ class TimingResult:
         return statistics.fmean(self.samples)
 
     @property
+    def median(self) -> float:
+        """Middle sample — robust to first-call warm-up skewing the mean."""
+        return statistics.median(self.samples)
+
+    @property
     def stdev(self) -> float:
         if len(self.samples) < 2:
             return 0.0

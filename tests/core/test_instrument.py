@@ -2,6 +2,8 @@
 
 import time
 
+import pytest
+
 from repro.core.instrument import Instrumentation, StageTimes
 
 
@@ -59,6 +61,28 @@ class TestInstrumentation:
         except RuntimeError:
             pass
         assert inst._recursion_depth == 0
+
+    def test_stage_rejects_unknown_name(self):
+        """A typo'd stage must raise, not silently create a stray
+        attribute that never counts toward StageTimes.total."""
+        inst = Instrumentation()
+        with pytest.raises(ValueError, match="unknown stage"):
+            with inst.stage("stage_three"):
+                pass
+        assert not hasattr(inst.stage_times, "stage_three")
+        assert inst.stage_times.total == 0.0
+
+    def test_stage_emits_span_when_tracer_attached(self):
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        inst = Instrumentation(tracer=tracer, trace_rank=2)
+        with inst.stage("stage_one"):
+            pass
+        (event,) = tracer.events
+        assert event.name == "stage_one"
+        assert event.category == "stage"
+        assert event.rank == 2
 
     def test_stage_timer_accumulates(self):
         inst = Instrumentation()

@@ -35,6 +35,12 @@ class TestTable1:
         assert "Table I" in record.rendered
         assert "SRNA1 (paper)" in record.rendered
 
+    def test_median_reported_alongside_best_and_mean(self, record):
+        for row in record.rows:
+            for algo in ("srna1", "srna2"):
+                assert row[f"{algo}_best"] <= row[f"{algo}_median"]
+                assert row[f"{algo}_mean"] >= row[f"{algo}_best"]
+
 
 class TestTable2:
     @pytest.fixture(scope="class")
@@ -53,6 +59,11 @@ class TestTable2:
     def test_quick_scale_shrinks(self, record):
         for row in record.rows:
             assert row["length"] < 4216
+
+    def test_median_reported(self, record):
+        for row in record.rows:
+            assert row["srna2_median"] >= row["srna2_best"]
+            assert row["srna2_samples"] >= 1
 
 
 class TestTable3:
@@ -105,6 +116,10 @@ class TestFigure8:
             assert row["executed_virtual_seconds"] == pytest.approx(
                 row["simulated_seconds"], rel=0.05
             )
+            # Measured communication pattern: one row Allreduce per outer
+            # arc (100 arcs at the validation length of 200 nt).
+            assert row["allreduces"] == 100
+            assert row["allreduce_bytes"] == 100 * 200 * 8
 
 
 class TestAblations:

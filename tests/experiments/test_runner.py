@@ -29,6 +29,32 @@ class TestRunnerCli:
         out = capsys.readouterr().out
         assert out.count("Figure 8: PRNA speedup") == 1
 
+    def test_trace_and_metrics_outputs(self, tmp_path, capsys):
+        trace = tmp_path / "exp.trace.json"
+        metrics = tmp_path / "exp.metrics.jsonl"
+        assert main(
+            [
+                "space", "--scale", "quick",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "run record(s) appended to" in out
+        from repro.obs.runrecord import load_run_records
+        from repro.obs.tracer import load_chrome_trace
+
+        payload = load_chrome_trace(str(trace))
+        names = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert "space" in names
+        (record,) = load_run_records(str(metrics))
+        assert record["kind"] == "space"
+        assert record["run_id"]
+        assert record["environment"]["python"]
+        assert record["metrics"]["rows"]
+
     def test_all_registered_runners_have_names(self):
         assert set(RUNNERS) == {
             "table1", "table2", "table3", "figure8",

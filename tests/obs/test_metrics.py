@@ -1,0 +1,133 @@
+"""Metrics registry: counters, gauges, histogram bucket edges."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("ops")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("ops").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge("depth")
+        gauge.set(4)
+        gauge.add(-1.5)
+        assert gauge.value == 2.5
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive_upper(self):
+        """v lands in the first bucket with v <= bound; bounds are
+        inclusive upper edges."""
+        histogram = Histogram("h", buckets=(1.0, 2.0, 5.0))
+        histogram.observe(0.5)  # -> bucket 0 (<= 1.0)
+        histogram.observe(1.0)  # -> bucket 0 (edge is inclusive)
+        histogram.observe(1.0001)  # -> bucket 1
+        histogram.observe(5.0)  # -> bucket 2 (edge)
+        histogram.observe(99.0)  # -> overflow
+        assert histogram.counts == (2, 1, 1, 1)
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(0.5 + 1.0 + 1.0001 + 5.0 + 99.0)
+
+    def test_buckets_sorted_and_deduplicated_rejected(self):
+        histogram = Histogram("h", buckets=(5.0, 1.0, 2.0))
+        assert histogram.buckets == (1.0, 2.0, 5.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_mean(self):
+        histogram = Histogram("h", buckets=(10.0,))
+        assert histogram.mean == 0.0
+        histogram.observe(2.0)
+        histogram.observe(4.0)
+        assert histogram.mean == 3.0
+
+    def test_snapshot(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        histogram.observe(0.5)
+        snapshot = histogram.snapshot()
+        assert snapshot == {
+            "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("ops").inc(3)
+        registry.gauge("depth").set(1.5)
+        registry.histogram("lat", buckets=(1.0,)).observe(0.2)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"ops": 3.0}
+        assert snapshot["gauges"] == {"depth": 1.5}
+        assert snapshot["histograms"]["lat"]["count"] == 1
+
+    def test_concurrent_producers(self):
+        registry = MetricsRegistry()
+
+        def worker() -> None:
+            for _ in range(1000):
+                registry.counter("shared").inc()
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter("shared").value == 4000
+
+
+class TestProducerFeeds:
+    def test_instrumentation_feeds_registry(self):
+        from repro.core.instrument import Instrumentation
+
+        inst = Instrumentation()
+        inst.count_slice(10)
+        inst.count_lookup(hit=True)
+        registry = MetricsRegistry()
+        inst.to_metrics(registry)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["slices_tabulated"] == 1
+        assert snapshot["counters"]["cells_tabulated"] == 10
+        assert snapshot["counters"]["memo_hits"] == 1
+        assert "time_total" in snapshot["gauges"]
+
+    def test_comm_stats_feed_registry(self):
+        from repro.mpi.communicator import CommStats
+
+        stats = CommStats()
+        stats.allreduces = 7
+        stats.allreduce_bytes = 1024
+        registry = MetricsRegistry()
+        stats.to_metrics(registry)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"]["comm_allreduces"] == 7
+        assert snapshot["counters"]["comm_allreduce_bytes"] == 1024

@@ -1,0 +1,78 @@
+"""JSONL run records: append/load roundtrip, identity, environment."""
+
+from repro.obs.runrecord import (
+    RunRecord,
+    append_run_record,
+    environment_snapshot,
+    load_run_records,
+    new_run_id,
+)
+
+
+class TestRunId:
+    def test_unique_and_sortable_prefix(self):
+        first, second = new_run_id(), new_run_id()
+        assert first != second
+        assert first[:8].isdigit()  # YYYYMMDD
+        assert "-" in first
+
+
+class TestEnvironment:
+    def test_snapshot_keys(self):
+        snapshot = environment_snapshot()
+        assert {"repro_version", "python", "platform", "cpu_count",
+                "numpy"} <= set(snapshot)
+
+
+class TestAppendLoad:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        record = RunRecord(
+            run_id="r1", kind="test", parameters={"n": 3},
+            metrics={"score": 7},
+        )
+        append_run_record(path, record)
+        append_run_record(path, {"run_id": "r2", "kind": "raw"})
+        records = load_run_records(path)
+        assert [r["run_id"] for r in records] == ["r1", "r2"]
+        assert records[0]["parameters"] == {"n": 3}
+        assert records[0]["metrics"] == {"score": 7}
+        assert records[0]["environment"]["python"]
+
+    def test_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "runs.jsonl")
+        append_run_record(path, {"run_id": "r"})
+        assert load_run_records(path)[0]["run_id"] == "r"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        path.write_text('{"a": 1}\n\n{"a": 2}\n')
+        assert len(load_run_records(str(path))) == 2
+
+
+class TestExperimentReportIntegration:
+    def test_append_run_records(self, tmp_path):
+        from repro.experiments.report import ExperimentRecord, ExperimentReport
+
+        report = ExperimentReport()
+        report.add(
+            ExperimentRecord(
+                experiment="demo", paper_reference="Table 0",
+                parameters={"scale": "quick"},
+                rows=[{"x": 1}], rendered="demo",
+            )
+        )
+        path = str(tmp_path / "metrics.jsonl")
+        assert report.append_run_records(path) == 1
+        (record,) = load_run_records(path)
+        assert record["run_id"] == report.run_id
+        assert record["kind"] == "demo"
+        assert record["metrics"]["rows"] == [{"x": 1}]
+
+    def test_report_json_carries_run_id(self):
+        import json
+
+        from repro.experiments.report import ExperimentReport
+
+        report = ExperimentReport()
+        assert json.loads(report.to_json())["run_id"] == report.run_id

@@ -1,0 +1,95 @@
+"""Trace summaries: per-rank compute/comm/idle accounting and rendering."""
+
+import pytest
+
+from repro.obs.report import summarize_events, summarize_trace
+from repro.obs.tracer import SpanEvent, Tracer
+
+
+def span(name, category, start, duration, rank):
+    return SpanEvent(
+        name=name, category=category, start=start, duration=duration,
+        rank=rank,
+    )
+
+
+class TestSummarizeEvents:
+    def test_empty(self):
+        report = summarize_events([])
+        assert report.ranks == ()
+        assert report.wall_seconds == 0.0
+
+    def test_figure8_categories(self):
+        """Two ranks over a 1.0s window: compute + comm + idle == wall."""
+        events = [
+            span("tabulate_row", "compute", 0.0, 0.6, 0),
+            span("allreduce_wait", "comm", 0.6, 0.4, 0),
+            span("tabulate_row", "compute", 0.0, 0.3, 1),
+            span("allreduce_wait", "comm", 0.3, 0.2, 1),
+        ]
+        report = summarize_events(events)
+        assert report.wall_seconds == pytest.approx(1.0)
+        rank0, rank1 = report.ranks
+        assert rank0.compute_seconds == pytest.approx(0.6)
+        assert rank0.comm_seconds == pytest.approx(0.4)
+        assert rank0.idle_seconds == pytest.approx(0.0)
+        assert rank1.compute_seconds == pytest.approx(0.3)
+        assert rank1.idle_seconds == pytest.approx(0.5)
+        shares = rank1.shares()
+        assert shares["compute"] == pytest.approx(30.0)
+        assert shares["comm"] == pytest.approx(20.0)
+        assert shares["idle"] == pytest.approx(50.0)
+
+    def test_annotation_categories_excluded_from_busy(self):
+        """A 'stage' span nesting the row spans must not double-count."""
+        events = [
+            span("stage_one", "stage", 0.0, 1.0, 0),
+            span("tabulate_row", "compute", 0.0, 0.7, 0),
+        ]
+        (rank0,) = summarize_events(events).ranks
+        assert rank0.compute_seconds == pytest.approx(0.7)
+        assert rank0.idle_seconds == pytest.approx(0.3)
+        assert rank0.n_spans == 2
+
+    def test_track_names(self):
+        events = [span("w", "compute", 0.0, 1.0, 3)]
+        report = summarize_events(events, {3: "rank 3"})
+        assert report.ranks[0].track == "rank 3"
+
+    def test_render(self):
+        events = [
+            span("tabulate_row", "compute", 0.0, 0.6, 0),
+            span("allreduce_wait", "comm", 0.6, 0.4, 0),
+        ]
+        text = summarize_events(events).render()
+        assert "compute" in text and "comm-wait" in text and "idle" in text
+        assert "rank 0" in text
+        assert "Figure 8" in text
+
+    def test_zero_wall_shares(self):
+        (rank0,) = summarize_events([span("w", "compute", 1.0, 0.0, 0)]).ranks
+        assert rank0.shares() == {"compute": 0.0, "comm": 0.0, "idle": 0.0}
+
+
+class TestSummarizeTraceFile:
+    def test_from_tracer_file(self, tmp_path):
+        tracer = Tracer()
+        tracer.name_track(0, "rank 0")
+        with tracer.span("tabulate_row", rank=0, category="compute"):
+            pass
+        with tracer.span("allreduce_wait", rank=0, category="comm"):
+            pass
+        path = str(tmp_path / "run.trace.json")
+        tracer.write(path)
+        report = summarize_trace(path)
+        (rank0,) = report.ranks
+        assert rank0.track == "rank 0"
+        assert rank0.compute_seconds > 0
+        assert rank0.comm_seconds > 0
+        assert rank0.n_spans == 2
+
+    def test_invalid_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError):
+            summarize_trace(str(path))

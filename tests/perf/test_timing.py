@@ -25,7 +25,14 @@ class TestTimeCall:
         result = TimingResult(samples=(1.0, 2.0, 3.0), value=None)
         assert result.best == 1.0
         assert result.mean == 2.0
+        assert result.median == 2.0
         assert result.stdev == 1.0
+
+    def test_median_robust_to_warmup_outlier(self):
+        """A slow first call (warm-up) skews the mean but not the median."""
+        result = TimingResult(samples=(10.0, 1.0, 1.0, 1.0, 1.0), value=None)
+        assert result.median == 1.0
+        assert result.mean > result.median
 
     def test_single_sample_stdev(self):
         assert TimingResult(samples=(1.0,), value=None).stdev == 0.0

@@ -123,6 +123,56 @@ class TestSimulate:
         assert "speedup" in out
 
 
+class TestObservability:
+    def test_compare_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "cmp.trace.json"
+        metrics = tmp_path / "cmp.metrics.jsonl"
+        assert main(
+            [
+                "compare", "((()))(())", "(())((()))",
+                "--trace", str(trace), "--metrics", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        assert "run record appended to" in out
+        from repro.obs.runrecord import load_run_records
+        from repro.obs.tracer import load_chrome_trace
+
+        payload = load_chrome_trace(str(trace))
+        names = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"preprocessing", "stage_one", "stage_two"} <= names
+        (record,) = load_run_records(str(metrics))
+        assert record["kind"] == "compare"
+        assert record["metrics"]["counters"]["slices_tabulated"] > 0
+
+    def test_simulate_trace_and_report(self, tmp_path, capsys):
+        trace = tmp_path / "sim.trace.json"
+        assert main(
+            [
+                "simulate", "--length", "40", "--procs", "1,2",
+                "--trace", str(trace), "--trace-ranks", "2",
+            ]
+        ) == 0
+        assert "executed a traced 2-rank PRNA run" in capsys.readouterr().out
+        assert main(["trace-report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "rank 0" in out and "rank 1" in out
+        assert "comm-wait" in out
+
+    def test_trace_report_rejects_garbage(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["trace-report", str(path)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_report_missing_file(self, capsys):
+        assert main(["trace-report", "/nonexistent/trace.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestMisc:
     def test_version(self, capsys):
         with pytest.raises(SystemExit) as exc:
