@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench experiments verify trace-demo examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -13,10 +13,21 @@ test:
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
+# Machine-readable engine comparison: writes BENCH_slices.json at the repo
+# root (batched vs vectorized stage one, SRNA2 sweep, PRNA shm vs pipe).
+bench-quick:
+	$(PYTHON) benchmarks/bench_quick.py
+
+# Non-gating miniature of bench-quick: small sizes, never fails the build.
+bench-smoke:
+	-$(PYTHON) benchmarks/bench_quick.py --length 120 --repeat 1 \
+		--skip-prna --out BENCH_smoke.json
+	@rm -f BENCH_smoke.json
+
 experiments:
 	$(PYTHON) -m repro.experiments all --scale quick --json results.json
 
-verify: trace-demo
+verify: trace-demo bench-smoke
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

@@ -1,0 +1,175 @@
+"""Quick, machine-readable benchmark: batched vs per-slice engines.
+
+Writes ``BENCH_slices.json`` at the repository root (override with
+``--out``).  The headline number is the SRNA2 **stage-one** speedup of the
+batched engine over the per-slice vectorized engine on the contrived worst
+case — the measurement behind making ``"batched"`` the production default
+(target: >= 3x at n = m >= 400).  A small SRNA2/PRNA sweep rides along so
+regressions in either engine or either reduction path show up in one file.
+
+Run directly (``python benchmarks/bench_quick.py``) or via
+``make bench-quick``.  Keep it quick: the default settings finish in well
+under a minute on one core.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.instrument import Instrumentation  # noqa: E402
+from repro.core.srna2 import srna2  # noqa: E402
+from repro.structure.generators import (  # noqa: E402
+    contrived_worst_case,
+    rna_like_structure,
+)
+
+
+def _stage_one_seconds(structure, engine: str, repeat: int) -> tuple[float, int]:
+    """Best-of-*repeat* stage-one seconds for one SRNA2 self-comparison."""
+    best = float("inf")
+    score = -1
+    for _ in range(repeat):
+        inst = Instrumentation()
+        result = srna2(structure, structure, engine=engine, instrumentation=inst)
+        best = min(best, inst.stage_times.stage_one)
+        score = result.score
+    return best, score
+
+
+def bench_stage_one(length: int, repeat: int) -> dict:
+    """The headline: batched vs vectorized stage one, worst-case data."""
+    structure = contrived_worst_case(length)
+    rows = {}
+    scores = set()
+    for engine in ("vectorized", "batched"):
+        seconds, score = _stage_one_seconds(structure, engine, repeat)
+        rows[engine] = seconds
+        scores.add(score)
+    assert len(scores) == 1, f"engines disagree on the score: {scores}"
+    return {
+        "case": "stage_one_worst_case",
+        "length": length,
+        "score": scores.pop(),
+        "seconds": rows,
+        "speedup_batched_vs_vectorized": rows["vectorized"] / rows["batched"],
+    }
+
+
+def bench_srna2_sweep(repeat: int) -> list[dict]:
+    """End-to-end SRNA2 on rRNA-like data, both engines."""
+    sweep = []
+    for length, n_arcs, seed in ((200, 45, 11), (300, 70, 12)):
+        structure = rna_like_structure(length, n_arcs, seed=seed)
+        entry = {
+            "case": "srna2_rna_like",
+            "length": length,
+            "n_arcs": structure.n_arcs,
+            "seconds": {},
+        }
+        for engine in ("vectorized", "batched"):
+            best = float("inf")
+            for _ in range(repeat):
+                start = time.perf_counter()
+                srna2(structure, structure, engine=engine)
+                best = min(best, time.perf_counter() - start)
+            entry["seconds"][engine] = best
+        entry["speedup_batched_vs_vectorized"] = (
+            entry["seconds"]["vectorized"] / entry["seconds"]["batched"]
+        )
+        sweep.append(entry)
+    return sweep
+
+
+def bench_prna(repeat: int) -> list[dict]:
+    """PRNA on the process backend: shared-memory vs pipe reductions."""
+    from repro.parallel.prna import prna
+
+    structure = contrived_worst_case(160)
+    sweep = []
+    for label, shared in (("shm", None), ("pipe", False)):
+        best = float("inf")
+        stats = None
+        for _ in range(repeat):
+            start = time.perf_counter()
+            result = prna(
+                structure, structure, 2, backend="process",
+                shared_memory=shared, collect_stats=True,
+            )
+            best = min(best, time.perf_counter() - start)
+            stats = result.comm_stats
+        sweep.append(
+            {
+                "case": "prna_process_2ranks",
+                "length": 160,
+                "reduction": label,
+                "seconds": best,
+                "allreduces": stats["allreduces"],
+                "allreduce_bytes_pickled": stats["allreduce_bytes"],
+                "shm_allreduces": stats["shm_allreduces"],
+            }
+        )
+    return sweep
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_slices.json"),
+        help="output JSON path (default: BENCH_slices.json at the repo root)",
+    )
+    parser.add_argument(
+        "--length", type=int, default=400,
+        help="contrived worst-case size for the headline (default 400)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=2,
+        help="repetitions per measurement; best is kept (default 2)",
+    )
+    parser.add_argument(
+        "--skip-prna", action="store_true",
+        help="skip the process-backend sweep (e.g. on non-POSIX hosts)",
+    )
+    args = parser.parse_args(argv)
+
+    headline = bench_stage_one(args.length, args.repeat)
+    results = [headline]
+    results += bench_srna2_sweep(args.repeat)
+    if not args.skip_prna and os.name == "posix":
+        results += bench_prna(max(args.repeat - 1, 1))
+
+    report = {
+        "schema": "repro.bench_quick/1",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    speedup = headline["speedup_batched_vs_vectorized"]
+    print(
+        f"stage one, worst case n={args.length}: "
+        f"vectorized {headline['seconds']['vectorized']:.3f}s, "
+        f"batched {headline['seconds']['batched']:.3f}s "
+        f"-> {speedup:.1f}x"
+    )
+    print(f"wrote {args.out}")
+    if speedup < 3.0 and args.length >= 400:
+        print("WARNING: batched speedup below the 3x target", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

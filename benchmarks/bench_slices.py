@@ -4,7 +4,12 @@ import numpy as np
 import pytest
 
 from repro.core.memo import DenseMemoTable
-from repro.core.slices import tabulate_slice_python, tabulate_slice_vectorized
+from repro.core.slices import (
+    tabulate_slice_batched,
+    tabulate_slice_python,
+    tabulate_slice_vectorized,
+    tabulate_slices_batched,
+)
 from repro.structure.generators import contrived_worst_case, rna_like_structure
 
 
@@ -40,6 +45,35 @@ def test_python_parent_slice(benchmark, worst_case_200):
     assert result > 0
 
 
+def test_batched_parent_slice(benchmark, worst_case_200):
+    """Single-slice entry of the batched engine (one segment, no lift)."""
+    structure, memo = worst_case_200
+    result = benchmark(
+        lambda: tabulate_slice_batched(
+            memo.values, structure, structure, 0, 199, 0, 199
+        )
+    )
+    assert result > 0
+
+
+def test_batched_stage_one_row(benchmark):
+    """One outer arc's whole batch — what SRNA2 stage one runs per arc."""
+    structure = contrived_worst_case(200)
+    memo = DenseMemoTable(200, 200)
+    rng = np.random.default_rng(0)
+    memo.values[...] = rng.integers(0, 50, size=memo.values.shape)
+    arcs = np.arange(structure.n_arcs, dtype=np.int64)
+
+    total = benchmark(
+        lambda: int(
+            tabulate_slices_batched(
+                memo.values, structure, structure, 1, 198, arcs
+            ).sum()
+        )
+    )
+    assert total > 0
+
+
 def test_many_small_slices(benchmark):
     """Per-slice overhead: rRNA-like structures are dominated by thousands
     of small slices, not one big one."""
@@ -60,6 +94,32 @@ def test_many_small_slices(benchmark):
                     other.left + 1, other.right - 1,
                     ranges=(r1, (int(inner[b, 0]), int(inner[b, 1]))),
                 )
+        return total
+
+    total = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert total >= 0
+    benchmark.extra_info["slices"] = structure.n_arcs ** 2
+
+
+def test_many_small_slices_batched(benchmark):
+    """The same workload through the batch API — one call per outer arc
+    instead of one per arc pair (the production stage-one shape)."""
+    structure = rna_like_structure(400, 90, seed=17)
+    memo = DenseMemoTable(400, 400)
+    arcs = np.arange(structure.n_arcs, dtype=np.int64)
+
+    def run():
+        total = 0
+        inner = structure.inner_ranges
+        for a in range(structure.n_arcs):
+            arc = structure.arcs[a]
+            r1 = (int(inner[a, 0]), int(inner[a, 1]))
+            total += int(
+                tabulate_slices_batched(
+                    memo.values, structure, structure,
+                    arc.left + 1, arc.right - 1, arcs, r1=r1,
+                ).sum()
+            )
         return total
 
     total = benchmark.pedantic(run, rounds=1, iterations=1)

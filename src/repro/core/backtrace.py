@@ -112,6 +112,14 @@ def _trace_slice(
     n_cols = len(table.ys)
     if n_rows == 0 or n_cols == 0:
         return
+    # d1 references depend only on the arc endpoints, so both the stored
+    # indices and the value grid are hoisted out of the walk: one
+    # vectorized searchsorted per axis, one broadcast values_at read.
+    d1_rows = np.searchsorted(table.xs, table.k1s - 1, side="right")
+    d1_cols = np.searchsorted(table.ys, table.k2s - 1, side="right")
+    d1_grid = table.values_at(
+        table.k1s[:, None] - 1, table.k2s[None, :] - 1
+    )
     # Stack of cells still to be explained within this slice.  Cells are
     # (stored row, stored column) indices; index 0 on either axis is the
     # zero boundary.
@@ -134,9 +142,9 @@ def _trace_slice(
         x = int(table.xs[r - 1])
         k2 = int(table.k2s[c - 1])
         y = int(table.ys[c - 1])
-        d1_row = int(np.searchsorted(table.xs, k1 - 1, side="right"))
-        d1_col = int(np.searchsorted(table.ys, k2 - 1, side="right"))
-        d1 = rows[d1_row, d1_col]
+        d1_row = int(d1_rows[r - 1])
+        d1_col = int(d1_cols[c - 1])
+        d1 = d1_grid[r - 1, c - 1]
         d2 = memo.values[k1 + 1, k2 + 1]
         if weights is None:
             bonus = 1

@@ -69,6 +69,16 @@ class Instrumentation:
         self.slices_tabulated += 1
         self.cells_tabulated += int(n_cells)
 
+    def count_batch(self, n_slices: int, n_cells: int) -> None:
+        """Record *n_slices* slices tabulated together in one batch.
+
+        Keeps the counters identical to per-slice tabulation (*n_cells* is
+        the batch total), so engine choice never changes instrumentation
+        totals — a property the cross-check tests assert.
+        """
+        self.slices_tabulated += int(n_slices)
+        self.cells_tabulated += int(n_cells)
+
     def count_lookup(self, hit: bool) -> None:
         """Record one memo probe and whether it hit."""
         self.memo_lookups += 1

@@ -29,16 +29,35 @@ Compressed layout: the value matrix has one extra leading row *and* column
 of zeros (the empty-interval boundary), so boundary reads need no masking —
 a ``d1`` reference that falls before the interval simply lands on index 0.
 
-Two engines share the contract:
+Three engines share the contract:
 
 * :func:`tabulate_slice_python` — direct transcription, the readable
   reference used for cross-checking;
-* :func:`tabulate_slice_vectorized` — the production engine: one 2-D memo
-  gather per slice plus four NumPy kernels per row.
+* :func:`tabulate_slice_vectorized` — one 2-D memo gather per slice plus
+  four NumPy kernels per row;
+* :func:`tabulate_slice_batched` — the production engine, the
+  single-slice view of the **batched** tabulation below.
 
-Both accept precomputed arc-index *ranges* so SRNA2's stage one avoids
-re-searching intervals (see :attr:`Structure.inner_ranges`), and both can
+All accept precomputed arc-index *ranges* so SRNA2's stage one avoids
+re-searching intervals (see :attr:`Structure.inner_ranges`), and all can
 return the full compressed slice (``keep_table=True``) for the backtracer.
+
+Batched tabulation (:func:`tabulate_slices_batched`) exploits a third
+structural fact: for a fixed S1 arc ``(i1, j1)``, *every* S2 child slice
+shares the same row structure (``xs``, ``k1s``, and therefore the
+``d1_rows`` gather indices).  The column sets of many S2 arcs are
+concatenated into one wide value matrix — each slice contributing its own
+zero-boundary column followed by its value columns — so an outer arc's
+whole batch advances with **one** gather/add/max per row instead of one
+per row per slice, and the memo terms for the entire batch are fetched in
+a single ``np.ix_`` gather.  The per-slice ``slice[x][y-1]`` case becomes a
+*segmented* prefix maximum: each segment is lifted by ``seg_id * stride``
+(``stride`` exceeding any attainable slice value), one flat
+``np.maximum.accumulate`` runs over the whole row, and the lift is
+subtracted — earlier segments can never leak into later ones because their
+lifted values are strictly smaller.  This is the grouping idea of the
+Four-Russians RNA-folding line of work applied at slice granularity; see
+``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -56,7 +75,10 @@ __all__ = [
     "arc_range_in",
     "tabulate_slice_python",
     "tabulate_slice_vectorized",
+    "tabulate_slice_batched",
+    "tabulate_slices_batched",
     "ENGINES",
+    "BATCH_ENGINES",
 ]
 
 
@@ -96,6 +118,17 @@ class SliceTable:
         r = int(np.searchsorted(self.xs, p1, side="right"))
         c = int(np.searchsorted(self.ys, p2, side="right"))
         return int(self.rows[r, c])
+
+    def values_at(self, p1s, p2s) -> np.ndarray:
+        """Vectorized :meth:`value_at`: slice values at position arrays.
+
+        ``p1s``/``p2s`` may be any broadcast-compatible shapes (e.g. a
+        column vector against a row vector reads a whole grid in one
+        call); the result has the broadcast shape.
+        """
+        r = np.searchsorted(self.xs, np.asarray(p1s), side="right")
+        c = np.searchsorted(self.ys, np.asarray(p2s), side="right")
+        return self.rows[r, c]
 
 
 def arc_range_in(structure: Structure, i: int, j: int) -> tuple[int, int]:
@@ -166,17 +199,21 @@ def tabulate_slice_python(
     xs, k1s, ys, k2s = _slice_arrays(s1, s2, *ranges)
     n_rows, n_cols = len(xs), len(ys)
     rows = np.zeros((n_rows + 1, n_cols + 1), dtype=memo_values.dtype)
+    # The d1 reference indices depend only on the arc endpoints, not on the
+    # values being tabulated, so both are hoisted out of the cell loop
+    # (exactly as the vectorized engine precomputes them).
+    d1_rows = np.searchsorted(xs, k1s - 1, side="right").tolist()
+    d1_cols = np.searchsorted(ys, k2s - 1, side="right").tolist()
     for r in range(1, n_rows + 1):
         k1 = int(k1s[r - 1])
         # Stored row (0 = boundary) holding the value at S1 position k1 - 1.
-        d1_row = int(np.searchsorted(xs, k1 - 1, side="right"))
+        d1_row = d1_rows[r - 1]
         prev = rows[r - 1]
         cur = rows[r]
         running = 0
         for c in range(1, n_cols + 1):
             k2 = int(k2s[c - 1])
-            d1_col = int(np.searchsorted(ys, k2 - 1, side="right"))
-            d1 = int(rows[d1_row, d1_col])
+            d1 = int(rows[d1_row, d1_cols[c - 1]])
             d2 = int(memo_values[k1 + 1, k2 + 1])
             best = max(int(prev[c]), running, 1 + d1 + d2)
             cur[c] = best
@@ -245,7 +282,264 @@ def tabulate_slice_vectorized(
     return table if keep_table else table.result
 
 
+# ----------------------------------------------------------------------
+# Batched engine: all child slices of one outer arc advance together
+# ----------------------------------------------------------------------
+
+#: Sentinel added to boundary columns' memo terms so a boundary candidate
+#: can never win the row maximum (boundary cells must stay 0).  Far from
+#: the int64 limits, so adding a slice value never overflows.
+_BOUNDARY_NEG = -(1 << 62)
+
+#: Cap on the elements materialized by one ``np.ix_`` memo gather
+#: (``n_rows * width``); larger batches are split into column chunks so
+#: Table 1-scale worst cases do not allocate multi-gigabyte temporaries.
+_MAX_GATHER_ELEMENTS = 1 << 24
+
+
+def _ragged_arange(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenation of ``arange(starts[i], starts[i] + lens[i])``."""
+    total = int(lens.sum())
+    firsts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - firsts, lens)
+
+
+def _segmented_tabulate(
+    memo_values: np.ndarray,
+    xs: np.ndarray,
+    k1s: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+    s2: Structure,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+    """Tabulate every (non-empty) slice of one batch in a shared wide matrix.
+
+    ``los``/``his`` are per-slice arc-index ranges into ``s2`` (all with
+    ``his > los``); the S1 side (``xs``/``k1s``) is shared by the whole
+    batch.  Returns ``(results, rows_wide, bases, lens)`` where ``bases``
+    are each segment's zero-boundary column positions in the wide layout —
+    or ``None`` when the segmented prefix-max lift cannot be applied
+    safely (non-integer memo dtype or offset overflow risk), in which case
+    the caller falls back to per-slice tabulation.
+
+    ``results`` holds true slice values; ``rows_wide`` is returned in
+    **lifted** space (segment ``s`` offset by ``s * stride``).  With a
+    single segment the lift is zero, so the single-slice wrapper can use
+    ``rows_wide`` as the slice table directly; multi-segment callers only
+    consume ``results``.
+    """
+    if memo_values.dtype.kind not in "iu":
+        return None
+    n_rows = len(xs)
+    lens = (his - los).astype(np.int64)
+    n_seg = len(lens)
+    total = int(lens.sum())
+    width = n_seg + total
+
+    # Wide layout: segment s occupies [bases[s], bases[s] + lens[s]]; the
+    # first position is its private zero-boundary column (row 0 plays the
+    # boundary role on the other axis, exactly as in the per-slice engines).
+    firsts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    bases = np.arange(n_seg, dtype=np.int64) + firsts
+    val_pos = np.repeat(bases + 1, lens) + (
+        np.arange(total, dtype=np.int64) - np.repeat(firsts, lens)
+    )
+
+    col_idx = _ragged_arange(los.astype(np.int64), lens)
+    k2s_cat = s2.lefts[col_idx]
+
+    # d1 column lookup, one global searchsorted for the whole batch:
+    # segments are contiguous runs of the globally sorted s2.rights, so the
+    # global insertion point clipped to the segment's range *is* the local
+    # one (0 = the segment's boundary column).
+    g = np.searchsorted(s2.rights, k2s_cat - 1, side="right")
+    los_rep = np.repeat(los, lens)
+    local = np.clip(g, los_rep, np.repeat(his, lens)) - los_rep
+    g_d1_cols = np.empty(width, dtype=np.int64)
+    g_d1_cols[bases] = bases  # boundary reads its own (always-zero) column
+    g_d1_cols[val_pos] = np.repeat(bases, lens) + local
+
+    # Shared row structure: identical for every slice in the batch.
+    d1_rows = np.searchsorted(xs, k1s - 1, side="right")
+
+    # One memo gather for the whole batch (boundary columns fetch memo
+    # column 0 and are immediately overwritten with the sentinel).
+    gather_cols = np.zeros(width, dtype=np.int64)
+    gather_cols[val_pos] = k2s_cat + 1
+    d2p1 = memo_values[np.ix_(k1s + 1, gather_cols)].astype(np.int64, copy=False)
+    d2p1 += 1
+    vmax = int(d2p1.max()) if d2p1.size else 1
+    d2p1[:, bases] = _BOUNDARY_NEG
+
+    # Segmented prefix-max lift: stride must exceed any attainable slice
+    # value (<= n_rows gains of at most vmax each) and the total lift must
+    # stay far from the int64 limit.
+    stride = max(vmax, 1) * n_rows + 1
+    if stride * n_seg >= (1 << 62):
+        return None
+    seg_lift = np.arange(n_seg, dtype=np.int64) * stride
+    seg_off = np.repeat(seg_lift, lens + 1)
+
+    # The whole tabulation runs in *lifted* space: row 0 starts at the
+    # per-segment offsets and every stored value carries its segment's
+    # lift.  This is self-consistent because no recurrence case crosses a
+    # segment: a d1 read lands in its own segment (same lift on both sides
+    # of the addition), the previous-row max compares equal lifts, and the
+    # flat prefix max cannot leak a segment's values into the next one —
+    # its lifted values are strictly below the next boundary's offset.
+    # Working lifted saves two full-width kernels per row versus lifting
+    # and unlifting around each accumulate.
+    rows_wide = np.empty((n_rows + 1, width), dtype=np.int64)
+    rows_wide[0] = seg_off
+    cand = np.empty(width, dtype=np.int64)
+    for r in range(1, n_rows + 1):
+        np.take(rows_wide[d1_rows[r - 1]], g_d1_cols, out=cand)
+        cand += d2p1[r - 1]
+        out = rows_wide[r]
+        np.maximum(rows_wide[r - 1], cand, out=out)
+        np.maximum.accumulate(out, out=out)
+
+    results = rows_wide[n_rows, bases + lens] - seg_lift
+    return results, rows_wide, bases, lens
+
+
+def tabulate_slices_batched(
+    memo_values: np.ndarray,
+    s1: Structure,
+    s2: Structure,
+    i1: int,
+    j1: int,
+    arcs2,
+    *,
+    r1: tuple[int, int] | None = None,
+    instrumentation: Instrumentation | None = None,
+) -> np.ndarray:
+    """Tabulate the child slices of S1 interval ``[i1, j1]`` for many S2 arcs.
+
+    ``arcs2`` holds S2 arc indices; slice ``k`` of the batch covers
+    ``(lefts2[arcs2[k]] + 1 .. rights2[arcs2[k]] - 1)`` on the S2 side.
+    Returns the per-slice results aligned with ``arcs2`` — exactly what
+    SRNA2's stage one writes into memo row ``i1`` (and what a PRNA rank
+    writes for its owned columns).
+
+    Batches whose single memo gather would exceed the element cap are
+    split into column chunks; batches the segmented kernel cannot handle
+    (non-integer memo dtype, offset overflow) fall back to per-slice
+    vectorized tabulation.  Either way results are bit-identical to the
+    per-slice engines.
+    """
+    if r1 is None:
+        r1 = arc_range_in(s1, i1, j1)
+    lo1, hi1 = r1
+    xs = s1.rights[lo1:hi1]
+    k1s = s1.lefts[lo1:hi1]
+    n_rows = len(xs)
+    arcs2 = np.asarray(arcs2, dtype=np.int64)
+    results = np.zeros(len(arcs2), dtype=memo_values.dtype)
+    if n_rows == 0 or len(arcs2) == 0:
+        if instrumentation is not None:
+            instrumentation.count_batch(len(arcs2), 0)
+        return results
+
+    inner2 = s2.inner_ranges
+    los = inner2[arcs2, 0].astype(np.int64)
+    his = inner2[arcs2, 1].astype(np.int64)
+    nonempty = np.flatnonzero(his > los)
+    total_cells = n_rows * int((his - los)[nonempty].sum())
+    if instrumentation is not None:
+        instrumentation.count_batch(len(arcs2), total_cells)
+    if nonempty.size == 0:
+        return results
+
+    # Chunk so one gather materializes at most _MAX_GATHER_ELEMENTS.
+    max_width = max(_MAX_GATHER_ELEMENTS // max(n_rows, 1), 2)
+    widths = (his - los)[nonempty] + 1
+    chunk_marks = np.cumsum(widths) // max_width
+    start = 0
+    while start < nonempty.size:
+        stop = int(
+            np.searchsorted(chunk_marks, chunk_marks[start], side="right")
+        )
+        stop = max(stop, start + 1)
+        part = nonempty[start:stop]
+        batch = _segmented_tabulate(
+            memo_values, xs, k1s, los[part], his[part], s2
+        )
+        if batch is not None:
+            results[part] = batch[0].astype(memo_values.dtype)
+        else:
+            for k in part:
+                b = int(arcs2[k])
+                results[k] = tabulate_slice_vectorized(
+                    memo_values, s1, s2,
+                    i1, j1, int(s2.lefts[b]) + 1, int(s2.rights[b]) - 1,
+                    ranges=(r1, (int(los[k]), int(his[k]))),
+                )
+        start = stop
+    return results
+
+
+def tabulate_slice_batched(
+    memo_values: np.ndarray,
+    s1: Structure,
+    s2: Structure,
+    i1: int,
+    j1: int,
+    i2: int,
+    j2: int,
+    *,
+    ranges: tuple[tuple[int, int], tuple[int, int]] | None = None,
+    instrumentation: Instrumentation | None = None,
+    keep_table: bool = False,
+) -> int | SliceTable:
+    """Single-slice view of the batched engine; same contract as the others.
+
+    A batch of one degenerates to the vectorized row kernels plus one
+    leading boundary column, so this engine matches
+    :func:`tabulate_slice_vectorized` bit for bit — it exists so
+    ``ENGINES["batched"]`` satisfies the per-slice contract everywhere a
+    caller tabulates slices one at a time (stage two, checkpointing, the
+    backtracer's re-tabulations).
+    """
+    if ranges is None:
+        ranges = (arc_range_in(s1, i1, j1), arc_range_in(s2, i2, j2))
+    r1, r2 = ranges
+    xs, k1s, ys, k2s = _slice_arrays(s1, s2, r1, r2)
+    n_rows, n_cols = len(xs), len(ys)
+    batch = None
+    if n_rows > 0 and n_cols > 0:
+        lo2, hi2 = r2
+        batch = _segmented_tabulate(
+            memo_values, xs, k1s,
+            np.array([lo2], dtype=np.int64), np.array([hi2], dtype=np.int64),
+            s2,
+        )
+    if batch is None:
+        return tabulate_slice_vectorized(
+            memo_values, s1, s2, i1, j1, i2, j2,
+            ranges=ranges, instrumentation=instrumentation,
+            keep_table=keep_table,
+        )
+    if instrumentation is not None:
+        instrumentation.count_slice(n_rows * n_cols)
+    _, rows_wide, _, _ = batch
+    if keep_table:
+        rows = rows_wide.astype(memo_values.dtype)
+        return SliceTable(i1, j1, i2, j2, xs, k1s, ys, k2s, rows)
+    return int(rows_wide[n_rows, n_cols])
+
+
+#: Per-slice engines (the common contract).  ``"batched"`` is the
+#: production default; ``"vectorized"`` and ``"python"`` are kept as
+#: cross-check references.
 ENGINES = {
     "python": tabulate_slice_python,
     "vectorized": tabulate_slice_vectorized,
+    "batched": tabulate_slice_batched,
+}
+
+#: Engines that additionally offer the whole-batch entry point used by
+#: SRNA2's stage one and PRNA's owned-column loop.
+BATCH_ENGINES = {
+    "batched": tabulate_slices_batched,
 }

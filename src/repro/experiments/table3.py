@@ -41,7 +41,13 @@ PAPER_PERCENTAGES = {
 
 
 def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
-    """Measure SRNA2 per-stage shares on worst-case self-comparisons."""
+    """Measure SRNA2 per-stage shares on worst-case self-comparisons.
+
+    Pins the ``vectorized`` per-slice engine: Table III profiles the
+    paper's SRNA2, which tabulates one child slice at a time.  The batched
+    engine compresses stage one so far that its share can dip below the
+    paper's >= 99 % signature at small sizes (see ``docs/performance.md``).
+    """
     lengths = LENGTHS[scale]
     shares: dict[int, dict[str, float]] = {}
     for length in lengths:
@@ -50,7 +56,7 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
         best: dict[str, float] | None = None
         for _ in range(repeat):
             inst = Instrumentation()
-            srna2(structure, structure, instrumentation=inst)
+            srna2(structure, structure, engine="vectorized", instrumentation=inst)
             if inst.stage_times.total < best_total:
                 best_total = inst.stage_times.total
                 best = inst.stage_times.percentages()
@@ -92,7 +98,10 @@ def run(scale: str = "default", repeat: int = 1) -> ExperimentRecord:
     return ExperimentRecord(
         experiment="table3",
         paper_reference="Table III",
-        parameters={"scale": scale, "lengths": lengths, "repeat": repeat},
+        parameters={
+            "scale": scale, "lengths": lengths, "repeat": repeat,
+            "engine": "vectorized",
+        },
         rows=records,
         rendered=rendered,
         notes=(

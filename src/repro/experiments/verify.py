@@ -84,11 +84,13 @@ def _check_table2(verdicts: list[_Verdict]) -> None:
 
 
 def _check_table3(verdicts: list[_Verdict], lengths: list[int]) -> None:
+    # Table III profiles the paper's per-slice SRNA2; the batched engine
+    # shrinks stage one below the >= 99% signature at small sizes.
     shares = []
     for length in lengths:
         structure = contrived_worst_case(length)
         inst = Instrumentation()
-        srna2(structure, structure, instrumentation=inst)
+        srna2(structure, structure, engine="vectorized", instrumentation=inst)
         shares.append(inst.stage_times.percentages()["stage_one"])
     verdicts.append(
         _Verdict(

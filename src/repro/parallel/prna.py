@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.core.instrument import Instrumentation
 from repro.core.memo import DenseMemoTable
-from repro.core.slices import ENGINES
+from repro.core.slices import BATCH_ENGINES, ENGINES
 from repro.errors import CommunicatorError, SimulationError
 from repro.mpi.communicator import Communicator, ReduceOp, SelfCommunicator
 from repro.mpi.inprocess import run_threaded
@@ -79,18 +79,32 @@ def prna_rank(
     s2: Structure,
     *,
     partitioner: str = "greedy",
-    engine: str = "vectorized",
+    engine: str = "batched",
     sync_mode: str = "row",
     charge: str | None = None,
     work_model: WorkModel | None = None,
     validate: bool = False,
     instrumentation: Instrumentation | None = None,
     tracer: Tracer | None = None,
+    shared_memory: bool | None = None,
 ) -> PRNAResult:
     """Run one rank's share of PRNA (call from SPMD context).
 
     Parameters
     ----------
+    engine:
+        Slice engine (:data:`repro.core.slices.ENGINES`).  With a
+        batch-capable engine (the default ``"batched"``) each rank
+        tabulates all its owned columns of an outer arc in one batch —
+        the column partition *is* the batch definition.
+    shared_memory:
+        ``None`` (default) backs the memo table with communicator-shared
+        memory whenever the backend supports zero-copy reductions (the
+        process backend), so each row ``Allreduce(MAX)`` reduces in place
+        across per-rank shared segments instead of pickling rows through
+        pipes.  ``True`` requires such a backend
+        (:class:`~repro.errors.CommunicatorError` otherwise); ``False``
+        forces the plain (pickling) path.
     sync_mode:
         ``"row"`` is the paper's algorithm.  ``"pair"`` synchronizes after
         every slice (correct but chatty — the granularity ablation).
@@ -161,7 +175,23 @@ def prna_rank(
     weights = column_weights(s1, s2)
     partition = build(weights, comm.size)
     owned = partition.tasks_of(comm.rank)
-    memo = DenseMemoTable(n, m)
+    if shared_memory is None:
+        use_shm = comm.supports_shared_reduction
+    else:
+        use_shm = bool(shared_memory)
+        if use_shm and not comm.supports_shared_reduction:
+            raise CommunicatorError(
+                "shared_memory=True requires a backend with shared-memory "
+                f"reductions; {type(comm).__name__} has none"
+            )
+    if use_shm:
+        # Collective: every rank allocates its own segment and attaches
+        # the peers'.  Row views of this table make Allreduce zero-copy.
+        memo = DenseMemoTable.wrap(
+            comm.allocate_shared((max(n, 1), max(m, 1)), np.int64)
+        )
+    else:
+        memo = DenseMemoTable(n, m)
     values = memo.values
     inner1 = s1.inner_ranges
     inner2 = s2.inner_ranges
@@ -181,6 +211,14 @@ def prna_rank(
         stage_ctx.__enter__()
     try:
         owned_set = set(owned)
+        # With a batch-capable engine the owned-column loop becomes one
+        # batch per outer arc: the rank's partition defines the batch.
+        # (The "pair" ablation needs a collective per arc pair, so it
+        # keeps the per-slice loop.)
+        batch = BATCH_ENGINES.get(engine) if sync_mode != "pair" else None
+        if batch is not None:
+            owned_arr = np.asarray(owned, dtype=np.int64)
+            owned_cols = s2.lefts[owned_arr] + 1
         for a in range(s1.n_arcs):
             i1, j1 = lefts1[a], rights1[a]
             r1 = (int(inner1[a, 0]), int(inner1[a, 1]))
@@ -213,13 +251,19 @@ def prna_rank(
                 continue
             mark = measure_start()
             with span("tabulate_row", "compute", row=i1 + 1, columns=len(owned)):
-                for b in owned:
-                    i2, j2 = lefts2[b], rights2[b]
-                    row[i2 + 1] = tabulate(
-                        values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
-                        ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
-                        instrumentation=inst,
+                if batch is not None:
+                    row[owned_cols] = batch(
+                        values, s1, s2, i1 + 1, j1 - 1, owned_arr,
+                        r1=r1, instrumentation=inst,
                     )
+                else:
+                    for b in owned:
+                        i2, j2 = lefts2[b], rights2[b]
+                        row[i2 + 1] = tabulate(
+                            values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
+                            ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
+                            instrumentation=inst,
+                        )
             analytic = (
                 work_model.row_seconds(int(inside1[a]), inside2, owned)
                 if work_model is not None
@@ -291,7 +335,7 @@ def prna(
     *,
     backend: str = "thread",
     partitioner: str = "greedy",
-    engine: str = "vectorized",
+    engine: str = "batched",
     sync_mode: str = "row",
     charge: str | None = None,
     work_model: WorkModel | None = None,
@@ -299,12 +343,16 @@ def prna(
     validate: bool = False,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
+    shared_memory: bool | None = None,
 ) -> PRNAResult:
     """Convenience driver: run PRNA on *n_ranks* and return rank 0's result.
 
     ``backend`` is ``"thread"``, ``"process"`` or ``"self"`` (the latter
     requires ``n_ranks == 1``).  When *cost_model* is given, virtual clocks
     are enabled and the returned result carries the simulated time.
+    ``shared_memory`` follows :func:`prna_rank`: by default the process
+    backend reduces memo rows through shared memory (zero pickled bytes);
+    pass ``False`` to force the pipe/queue path.
 
     With *tracer* (thread/self backends only — process ranks cannot share
     an in-memory tracer), every rank records its timeline on its own
@@ -326,7 +374,7 @@ def prna(
             comm, s1, s2,
             partitioner=partitioner, engine=engine, sync_mode=sync_mode,
             charge=charge, work_model=work_model, validate=validate,
-            tracer=tracer,
+            tracer=tracer, shared_memory=shared_memory,
         )
 
     if backend == "self":

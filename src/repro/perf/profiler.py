@@ -99,10 +99,20 @@ def profile_call(fn: Callable[[], Any], *, limit: int = 50) -> ProfileReport:
 
 
 def profile_srna2(
-    s1: Structure, s2: Structure | None = None, *, limit: int = 50
+    s1: Structure,
+    s2: Structure | None = None,
+    *,
+    engine: str = "vectorized",
+    limit: int = 50,
 ) -> ProfileReport:
-    """Profile one SRNA2 run (self-comparison when *s2* is omitted)."""
+    """Profile one SRNA2 run (self-comparison when *s2* is omitted).
+
+    Defaults to the per-slice ``vectorized`` engine so the profile shows
+    one kernel call per arc pair — the measurement behind the
+    vectorization choice.  Pass ``engine="batched"`` to profile the
+    production batch kernel instead.
+    """
     from repro.core.srna2 import srna2
 
     other = s1 if s2 is None else s2
-    return profile_call(lambda: srna2(s1, other), limit=limit)
+    return profile_call(lambda: srna2(s1, other, engine=engine), limit=limit)

@@ -103,11 +103,10 @@ class TestSliceValuesAgainstDense:
             keep_table=True,
         )
         dense = dense_table(s1, s2)
-        for p1 in range(s1.length):
-            for p2 in range(s2.length):
-                assert table.value_at(p1, p2) == dense[0, p1, 0, p2], (
-                    seed, p1, p2,
-                )
+        grid = table.values_at(
+            np.arange(s1.length)[:, None], np.arange(s2.length)[None, :]
+        )
+        assert np.array_equal(grid, dense[0, :, 0, :]), seed
 
     def test_python_engine_cellwise(self):
         s1, s2 = make_random_pair(3, max_len=12)
@@ -120,9 +119,10 @@ class TestSliceValuesAgainstDense:
             keep_table=True,
         )
         dense = dense_table(s1, s2)
-        for p1 in range(s1.length):
-            for p2 in range(s2.length):
-                assert table.value_at(p1, p2) == dense[0, p1, 0, p2]
+        grid = table.values_at(
+            np.arange(s1.length)[:, None], np.arange(s2.length)[None, :]
+        )
+        assert np.array_equal(grid, dense[0, :, 0, :])
 
 
 class TestSliceProperties:

@@ -1,0 +1,200 @@
+"""Zero-copy shared-memory reductions on the process backend.
+
+The contract under test: ``allocate_shared`` gives every rank a private
+copy of one logical array, ``Allreduce`` on any buffer inside it reduces
+across all ranks' copies *without pickling the payload* (only control
+messages travel through the pipes), and the result is bit-identical to
+the pipe-based recursive-doubling path — PRNA's memo tables must come out
+the same either way.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.srna2 import srna2
+from repro.errors import CommunicatorError
+from repro.mpi.datatypes import ReduceOp
+from repro.mpi.process import run_multiprocess
+from repro.parallel.prna import prna
+from repro.structure.generators import contrived_worst_case, rna_like_structure
+
+pytestmark = pytest.mark.skipif(
+    os.name != "posix", reason="process backend requires POSIX fork"
+)
+
+
+class TestAllocateShared:
+    def test_returns_zeroed_private_array(self):
+        def fn(comm):
+            arr = comm.allocate_shared((3, 5), np.int64)
+            zeroed = bool((arr == 0).all())
+            arr[:] = comm.rank + 1  # private until a reduction runs
+            return zeroed, arr.copy()
+
+        results = run_multiprocess(fn, 3)
+        for rank, (zeroed, arr) in enumerate(results):
+            assert zeroed
+            assert (arr == rank + 1).all()
+
+    def test_dtype_and_shape(self):
+        def fn(comm):
+            arr = comm.allocate_shared((4,), np.int32)
+            return arr.shape, arr.dtype.str
+
+        for shape, dtype in run_multiprocess(fn, 2):
+            assert shape == (4,)
+            assert dtype == np.dtype(np.int32).str
+
+    def test_mismatched_shapes_raise(self):
+        def fn(comm):
+            comm.allocate_shared((comm.rank + 1, 2), np.int64)
+
+        with pytest.raises(CommunicatorError, match="disagree"):
+            run_multiprocess(fn, 2)
+
+    def test_unsupported_backends_raise(self):
+        from repro.mpi.communicator import SelfCommunicator
+        from repro.mpi.inprocess import run_threaded
+
+        with pytest.raises(CommunicatorError, match="shared-memory"):
+            SelfCommunicator().allocate_shared((2, 2))
+
+        def fn(comm):
+            assert not comm.supports_shared_reduction
+            with pytest.raises(CommunicatorError, match="shared-memory"):
+                comm.allocate_shared((2, 2))
+            return True
+
+        assert all(run_threaded(fn, 2))
+
+    def test_no_segments_leak(self):
+        """Every rank's close() must unlink its segment."""
+        before = set(os.listdir("/dev/shm"))
+
+        def fn(comm):
+            arr = comm.allocate_shared((8, 8), np.int64)
+            arr[:] = comm.rank
+            comm.Allreduce(arr[0], ReduceOp.MAX)
+            return True
+
+        assert all(run_multiprocess(fn, 3))
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked, leaked
+
+
+class TestSharedAllreduce:
+    def test_max_over_shared_rows(self):
+        def fn(comm):
+            comm.enable_stats()
+            arr = comm.allocate_shared((4, 6), np.int64)
+            arr[:] = comm.rank * 100 + np.arange(24).reshape(4, 6)
+            comm.Allreduce(arr[1], ReduceOp.MAX)
+            return arr.copy(), comm.stats.as_dict()
+
+        size = 4
+        results = run_multiprocess(fn, size)
+        top = (size - 1) * 100
+        expected_row = top + np.arange(6, 12)
+        for rank, (arr, stats) in enumerate(results):
+            assert np.array_equal(arr[1], expected_row)
+            # Rows that were not reduced stay private.
+            assert np.array_equal(arr[0], rank * 100 + np.arange(6))
+            assert stats["shm_allreduces"] == 1
+            assert stats["shm_allreduce_bytes"] == 6 * 8
+            assert stats["allreduces"] == 1
+            # The acceptance criterion: zero pickled payload bytes.
+            assert stats["allreduce_bytes"] == 0
+
+    def test_sum_whole_array(self):
+        def fn(comm):
+            arr = comm.allocate_shared((5,), np.int64)
+            arr[:] = comm.rank + 1
+            comm.Allreduce(arr, ReduceOp.SUM)
+            return arr.copy()
+
+        for arr in run_multiprocess(fn, 3):
+            assert (arr == 1 + 2 + 3).all()
+
+    def test_plain_buffer_takes_pipe_path(self):
+        """An ordinary buffer still reduces over the pipes even while
+        shared groups exist — with its bytes counted as pickled."""
+
+        def fn(comm):
+            comm.enable_stats()
+            comm.allocate_shared((2, 2), np.int64)
+            plain = np.full(7, comm.rank, dtype=np.int64)
+            comm.Allreduce(plain, ReduceOp.MAX)
+            return plain.copy(), comm.stats.as_dict()
+
+        for plain, stats in run_multiprocess(fn, 3):
+            assert (plain == 2).all()
+            assert stats["shm_allreduces"] == 0
+            assert stats["allreduce_bytes"] == 7 * 8
+
+    def test_non_contiguous_view_takes_pipe_path(self):
+        """A column view of a shared array is not C-contiguous, so it
+        cannot reduce in place — the pipe fallback must still be exact."""
+
+        def fn(comm):
+            comm.enable_stats()
+            arr = comm.allocate_shared((4, 4), np.int64)
+            arr[:] = comm.rank
+            comm.Allreduce(arr[:, 1], ReduceOp.MAX)
+            return arr.copy(), comm.stats.as_dict()
+
+        for arr, stats in run_multiprocess(fn, 3):
+            assert (arr[:, 1] == 2).all()
+            assert stats["shm_allreduces"] == 0
+            assert stats["allreduce_bytes"] > 0
+
+
+class TestPRNASharedMemory:
+    """4-rank integration: the paper's row synchronization, zero-copy."""
+
+    def test_shm_matches_queue_and_sequential(self):
+        s1 = rna_like_structure(60, 14, seed=1)
+        s2 = rna_like_structure(64, 15, seed=2)
+        reference = srna2(s1, s2, engine="vectorized")
+        shm = prna(s1, s2, 4, backend="process", collect_stats=True)
+        queue = prna(
+            s1, s2, 4, backend="process", shared_memory=False,
+            collect_stats=True,
+        )
+        assert shm.score == queue.score == reference.score
+        assert np.array_equal(shm.memo.values, queue.memo.values)
+        assert np.array_equal(shm.memo.values, reference.memo.values)
+
+    def test_shm_stats_report_zero_pickled_bytes(self):
+        s = contrived_worst_case(40)
+        result = prna(s, s, 4, backend="process", collect_stats=True)
+        stats = result.comm_stats
+        assert stats["allreduces"] == s.n_arcs
+        assert stats["shm_allreduces"] == s.n_arcs
+        assert stats["shm_allreduce_bytes"] > 0
+        # Only control messages were pickled for row synchronization.
+        assert stats["allreduce_bytes"] == 0
+
+    def test_queue_path_still_pickles(self):
+        s = contrived_worst_case(40)
+        result = prna(
+            s, s, 4, backend="process", shared_memory=False,
+            collect_stats=True,
+        )
+        stats = result.comm_stats
+        assert stats["allreduces"] == s.n_arcs
+        assert stats["shm_allreduces"] == 0
+        assert stats["shm_allreduce_bytes"] == 0
+        assert stats["allreduce_bytes"] > 0
+
+    def test_shared_memory_true_requires_capable_backend(self):
+        s = contrived_worst_case(20)
+        with pytest.raises(CommunicatorError, match="shared_memory=True"):
+            prna(s, s, 2, backend="thread", shared_memory=True)
+
+    def test_thread_backend_defaults_to_plain_path(self):
+        s = contrived_worst_case(20)
+        result = prna(s, s, 2, backend="thread", collect_stats=True)
+        assert result.comm_stats["shm_allreduces"] == 0
+        assert result.score == srna2(s, s).score
