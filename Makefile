@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo lint examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -27,7 +27,23 @@ bench-smoke:
 experiments:
 	$(PYTHON) -m repro.experiments all --scale quick --json results.json
 
-verify: trace-demo bench-smoke
+# Static analysis: ruff + mypy when installed (pip install -e '.[lint]'),
+# plus the in-tree SPMD checker, which has no dependencies and always runs.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else echo "lint: ruff not installed, skipping (pip install -e '.[lint]')"; fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro; \
+	else echo "lint: mypy not installed, skipping (pip install -e '.[lint]')"; fi
+	PYTHONPATH=src $(PYTHON) -m repro.check src/repro
+
+# Runtime-sanitizer transparency check: sanitized 2-rank PRNA on the
+# process backend must be bit-identical to the plain run.
+sanitize-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.check.demo
+
+verify: lint trace-demo bench-smoke sanitize-demo
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

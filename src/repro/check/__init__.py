@@ -1,0 +1,40 @@
+"""``repro.check`` — SPMD static analysis and runtime sanitizers.
+
+PRNA's correctness hangs on an *implicit* SPMD protocol: every rank must
+issue the same per-row ``Allreduce(MAX)`` sequence, and the shared-memory
+reduction adds a two-barrier ownership discipline where each rank may only
+write its owned columns of the shm-backed memo between barriers.  Nothing
+in the algorithm itself checks any of this — a rank-conditional collective
+or an out-of-partition write silently deadlocks or corrupts ``M``.
+
+This package verifies the protocol in two complementary layers:
+
+* **static** (:mod:`repro.check.static`, ``python -m repro.check`` or
+  ``repro-rna check``) — an AST linter flagging SPMD hazards with rule IDs
+  ``SPMD001``-``SPMD004``, suppression comments, JSON output, and a
+  nonzero exit code on findings (MPI-Checker-style collective matching);
+* **dynamic** (:mod:`repro.check.sanitizer`) — a
+  :class:`~repro.check.sanitizer.SanitizedCommunicator` that stamps every
+  collective with a sequence number, op, dtype, shape, and call site and
+  cross-validates the stamps at the rendezvous (diagnostics
+  ``SAN101``-``SAN104``), plus a memo-table race detector that diffs the
+  shm-backed table against a per-rank shadow at every row ``Allreduce``
+  (``SAN201``-``SAN203``).
+
+See ``docs/static-analysis.md`` for the rule catalog and the sanitizer
+protocol.
+"""
+
+from repro.check.findings import RULES, Finding
+from repro.check.sanitizer import SanitizedCommunicator, SanitizedMemoTable
+from repro.check.static import analyze_paths, analyze_source, run_check
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "SanitizedCommunicator",
+    "SanitizedMemoTable",
+    "analyze_paths",
+    "analyze_source",
+    "run_check",
+]

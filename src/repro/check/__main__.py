@@ -1,0 +1,8 @@
+"""``python -m repro.check [paths] [--json]`` — the SPMD static pass."""
+
+import sys
+
+from repro.check.static import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Finding records and the static rule catalog.
+
+Every static rule has a stable ID (``SPMD001``...), a one-line summary
+here, and a full description with examples in ``docs/static-analysis.md``.
+Runtime sanitizer diagnostics use the ``SAN1xx``/``SAN2xx`` space and are
+documented alongside (they are raised, not collected, so they carry no
+:class:`Finding`).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+
+__all__ = ["RULES", "Finding", "is_suppressed"]
+
+#: Static rule catalog: ID -> one-line summary.
+RULES: dict[str, str] = {
+    "SPMD001": (
+        "collective call under rank-dependent control flow (a rank that "
+        "skips a collective deadlocks every peer)"
+    ),
+    "SPMD002": (
+        "send with a constant tag that no receive in this module matches "
+        "(the receiver will block forever)"
+    ),
+    "SPMD003": (
+        "write to a shared-memory-backed array outside an owned-partition "
+        "guard (cross-rank write/write race in the Allreduce window)"
+    ),
+    "SPMD004": (
+        "narrow integer dtype flows into a lift-based batched kernel (the "
+        "segmented prefix-max lift in core/slices.py can overflow it)"
+    ),
+}
+
+#: ``# noqa`` / ``# noqa: SPMD001, SPMD003`` on the flagged line.
+_NOQA_RE = re.compile(
+    r"#\s*noqa\b(?::?\s*(?P<codes>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*))?",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis hit: a rule violated at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (editor-clickable)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for the ``--json`` CI payload."""
+        return asdict(self)
+
+
+def is_suppressed(rule: str, source_line: str) -> bool:
+    """Whether *source_line* carries a ``# noqa`` comment covering *rule*.
+
+    A bare ``# noqa`` suppresses every rule on that line; ``# noqa:
+    SPMD001, SPMD003`` suppresses only the listed rules.  Anything after
+    the code list (an em-dash rationale, say) is ignored.
+    """
+    match = _NOQA_RE.search(source_line)
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    return rule in {code.strip() for code in codes.split(",")}

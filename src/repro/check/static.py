@@ -1,0 +1,142 @@
+"""Static-pass driver: walk files, run rules, filter ``# noqa``, report.
+
+Used three ways, all sharing :func:`run_check`:
+
+* ``python -m repro.check [paths] [--json]``
+* the ``repro-check`` console script
+* the ``repro-rna check`` subcommand
+
+Exit codes: 0 clean, 1 findings, 2 usage/parse error.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+
+from repro.check.findings import RULES, Finding, is_suppressed
+from repro.check.rules import analyze_module
+
+__all__ = ["analyze_source", "analyze_paths", "run_check", "main"]
+
+
+def analyze_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Run every rule over one module's source, honouring ``# noqa``.
+
+    Raises :class:`SyntaxError` if *source* does not parse.
+    """
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings = []
+    for finding in analyze_module(tree, path):
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        if not is_suppressed(finding.rule, line):
+            findings.append(finding)
+    return findings
+
+
+def _python_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in {"__pycache__", ".git"}
+                )
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(names)
+                    if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(path)
+    return files
+
+
+def analyze_paths(paths: list[str]) -> tuple[list[Finding], int]:
+    """All findings under *paths* plus the number of files checked."""
+    findings: list[Finding] = []
+    files = _python_files(paths)
+    for filename in files:
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        findings.extend(analyze_source(source, filename))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, len(files)
+
+
+def _default_paths() -> list[str]:
+    if os.path.isdir(os.path.join("src", "repro")):
+        return [os.path.join("src", "repro")]
+    # Fall back to the installed package location.
+    return [os.path.dirname(os.path.dirname(os.path.abspath(__file__)))]
+
+
+def run_check(
+    paths: list[str] | None = None,
+    *,
+    json_output: bool = False,
+    stream=None,
+) -> int:
+    """Run the static pass and print a report; returns the exit code."""
+    stream = stream if stream is not None else sys.stdout
+    paths = paths or _default_paths()
+    try:
+        findings, n_files = analyze_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"repro.check: no such path: {exc}", file=sys.stderr)
+        return 2
+    except SyntaxError as exc:
+        print(f"repro.check: cannot parse {exc.filename}: {exc}",
+              file=sys.stderr)
+        return 2
+    if json_output:
+        payload = {
+            "version": 1,
+            "checked_files": n_files,
+            "findings": [finding.as_dict() for finding in findings],
+        }
+        print(json.dumps(payload, indent=2), file=stream)
+    else:
+        for finding in findings:
+            print(finding.render(), file=stream)
+        summary = (
+            f"repro.check: {len(findings)} finding(s) in {n_files} file(s)"
+            if findings
+            else f"repro.check: OK ({n_files} files, 0 findings)"
+        )
+        print(summary, file=stream)
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.check`` / ``repro-check``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="SPMD static analysis for the PRNA stack "
+        "(rules SPMD001-SPMD004; see docs/static-analysis.md)",
+    )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="files or directories (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="machine-readable findings for CI annotation",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    return run_check(args.paths or None, json_output=args.json_output)

@@ -8,6 +8,8 @@ Subcommands:
 * ``simulate`` — simulated PRNA speedup for a structure/cluster;
 * ``trace-report FILE`` — per-rank compute/comm-wait/idle summary of a
   Chrome trace produced by ``--trace``;
+* ``check [PATHS]`` — SPMD static analysis (rules SPMD001-SPMD004; see
+  ``docs/static-analysis.md``), same engine as ``python -m repro.check``;
 * ``experiments ...`` — forwards to ``python -m repro.experiments``.
 
 ``compare`` and ``simulate`` accept ``--trace PATH`` (write a Perfetto-
@@ -245,6 +247,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.static import RULES, run_check
+
+    if args.list_rules:
+        for rule, summary in sorted(RULES.items()):
+            print(f"{rule}  {summary}")
+        return 0
+    return run_check(args.paths or None, json_output=args.json_output)
+
+
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.obs.report import summarize_trace
 
@@ -352,6 +364,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     trace_report.add_argument("file", help="Chrome trace-event JSON path")
     trace_report.set_defaults(func=_cmd_trace_report)
+
+    check = sub.add_parser(
+        "check",
+        help="SPMD static analysis of Python sources (rules SPMD001-004)",
+    )
+    check.add_argument(
+        "paths", nargs="*", help="files or directories (default: src/repro)"
+    )
+    check.add_argument(
+        "--json", action="store_true", dest="json_output",
+        help="machine-readable findings for CI annotation",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    check.set_defaults(func=_cmd_check)
 
     args = parser.parse_args(argv)
     try:

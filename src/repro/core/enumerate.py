@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import FrozenSet
 
-import numpy as np
 
 from repro.core.dense import dense_table
 from repro.structure.arcs import Arc, Structure
@@ -48,7 +47,6 @@ def enumerate_optima(
     table = dense_table(s1, s2, cell_limit=cell_limit)
     partner1, partner2 = s1.partner, s2.partner
     memo: dict[tuple[int, int, int, int], frozenset[Matching]] = {}
-    truncated = False
 
     def value(i1: int, j1: int, i2: int, j2: int) -> int:
         if j1 < i1 or j2 < i2:
@@ -56,7 +54,6 @@ def enumerate_optima(
         return int(table[i1, j1, i2, j2])
 
     def solve(i1: int, j1: int, i2: int, j2: int) -> frozenset[Matching]:
-        nonlocal truncated
         if j1 < i1 or j2 < i2:
             return frozenset([empty])
         target = value(i1, j1, i2, j2)
@@ -96,7 +93,6 @@ def enumerate_optima(
                     if len(found) >= limit:
                         break
         if len(found) > limit:
-            truncated = True
             found = set(sorted(found, key=_matching_key)[:limit])
         result = frozenset(found)
         memo[key] = result

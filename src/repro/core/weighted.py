@@ -29,7 +29,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.memo import DenseMemoTable
-from repro.core.slices import arc_range_in
 from repro.errors import StructureError
 from repro.structure.arcs import Structure
 

@@ -17,6 +17,7 @@ __all__ = [
     "SchedulingError",
     "CommunicatorError",
     "CollectiveMismatchError",
+    "SanitizerError",
     "SimulationError",
     "BacktraceError",
     "ExperimentError",
@@ -70,6 +71,15 @@ class CommunicatorError(ReproError):
 
 class CollectiveMismatchError(CommunicatorError):
     """Ranks disagreed on a collective call (shape, op, or call sequence)."""
+
+
+class SanitizerError(CollectiveMismatchError):
+    """A runtime SPMD sanitizer detected a protocol violation.
+
+    Raised by :mod:`repro.check.sanitizer` with a diagnostic code
+    (``SAN101``-``SAN104`` for collective-protocol violations, ``SAN201``-
+    ``SAN203`` for memo-table races) plus the diverging rank and call site.
+    """
 
 
 class SimulationError(ReproError):

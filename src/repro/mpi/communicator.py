@@ -68,6 +68,8 @@ class CommStats:
         "shm_allreduces",
         "shm_allreduce_bytes",
         "exchanges",
+        "sanitizer_checks",
+        "sanitizer_ns",
     )
 
     def __init__(self) -> None:
@@ -86,6 +88,12 @@ class CommStats:
         self.shm_allreduces = 0
         self.shm_allreduce_bytes = 0
         self.exchanges = 0
+        #: Validations performed (and nanoseconds spent) by the runtime
+        #: sanitizer wrapper, when :class:`repro.check.SanitizedCommunicator`
+        #: is active; zero otherwise.  Lets the overhead of sanitized runs
+        #: be reported rather than guessed.
+        self.sanitizer_checks = 0
+        self.sanitizer_ns = 0
 
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain dictionary."""

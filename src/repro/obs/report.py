@@ -11,6 +11,10 @@ Accounting rules:
 * spans with category ``"compute"`` are busy tabulation time;
 * spans with category ``"comm"`` are time inside (or blocked at) a
   collective — the executed analogue of the simulator's wait + comm;
+* spans with category ``"sanitizer"`` (emitted by
+  :class:`repro.check.SanitizedCommunicator`) are tallied separately so a
+  sanitized run's validation overhead shows up in the report instead of
+  silently inflating comm-wait;
 * any other category (``"stage"``, ``"experiment"``, ...) is an annotation
   and excluded from busy time, so nesting stage spans around row spans does
   not double-count;
@@ -30,6 +34,8 @@ __all__ = ["RankSummary", "TraceReport", "summarize_events", "summarize_trace"]
 #: Categories entering the busy-time accounting.
 COMPUTE_CATEGORY = "compute"
 COMM_CATEGORY = "comm"
+#: Sanitizer-validation spans: reported, but outside busy time.
+SANITIZER_CATEGORY = "sanitizer"
 
 
 @dataclass(frozen=True)
@@ -42,6 +48,10 @@ class RankSummary:
     comm_seconds: float
     idle_seconds: float
     n_spans: int
+    #: Time inside runtime-sanitizer validations (category ``"sanitizer"``);
+    #: zero for unsanitized runs.  Kept out of busy time — it is overhead,
+    #: not algorithm work.
+    sanitizer_seconds: float = 0.0
 
     @property
     def busy_seconds(self) -> float:
@@ -96,6 +106,13 @@ class TraceReport:
                 f"overall: {100.0 * total_compute / busy:.1f}% of busy time "
                 f"is compute, {100.0 * total_comm / busy:.1f}% is comm-wait"
             )
+        total_sanitizer = sum(s.sanitizer_seconds for s in self.ranks)
+        if total_sanitizer > 0:
+            lines.append(
+                f"sanitizer overhead: {total_sanitizer:.4f}s across "
+                f"{len(self.ranks)} rank(s) (runtime SPMD checks; "
+                "excluded from busy time)"
+            )
         return "\n".join(lines)
 
 
@@ -143,6 +160,9 @@ def summarize_events(
         comm = sum(
             e.duration for e in by_rank[rank] if e.category == COMM_CATEGORY
         )
+        sanitizer = sum(
+            e.duration for e in by_rank[rank] if e.category == SANITIZER_CATEGORY
+        )
         idle = max(wall - compute - comm, 0.0)
         summaries.append(
             RankSummary(
@@ -152,6 +172,7 @@ def summarize_events(
                 comm_seconds=comm,
                 idle_seconds=idle,
                 n_spans=len(by_rank[rank]),
+                sanitizer_seconds=sanitizer,
             )
         )
     return TraceReport(ranks=tuple(summaries), wall_seconds=wall)

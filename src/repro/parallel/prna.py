@@ -87,6 +87,8 @@ def prna_rank(
     instrumentation: Instrumentation | None = None,
     tracer: Tracer | None = None,
     shared_memory: bool | None = None,
+    sanitize: bool = False,
+    sanitize_timeout: float = 30.0,
 ) -> PRNAResult:
     """Run one rank's share of PRNA (call from SPMD context).
 
@@ -124,9 +126,26 @@ def prna_rank(
         per-row tabulation spans (category ``"compute"``) and collective
         waits (category ``"comm"``) on its own track, yielding the
         Figure-8-style timeline ``repro-rna trace-report`` summarizes.
+    sanitize:
+        Wrap the communicator in
+        :class:`repro.check.SanitizedCommunicator` and register the memo
+        table for race detection: collectives are cross-validated before
+        they run (hangs become timeout diagnostics after
+        *sanitize_timeout* seconds), and each row ``Allreduce`` checks
+        that every rank wrote only its owned columns.  Results are
+        bit-identical to unsanitized runs; the validation overhead is
+        accounted in ``CommStats.sanitizer_checks``/``sanitizer_ns`` and
+        (with *tracer*) as ``"sanitizer"``-category spans.
     """
     if sync_mode not in SYNC_MODES:
         raise ValueError(f"unknown sync_mode {sync_mode!r}; one of {SYNC_MODES}")
+    if sanitize:
+        from repro.check.sanitizer import SanitizedCommunicator
+
+        if not isinstance(comm, SanitizedCommunicator):
+            comm = SanitizedCommunicator(
+                comm, timeout=sanitize_timeout, tracer=tracer
+            )
     if charge not in (None, "measured", "analytic"):
         raise ValueError(f"unknown charge policy {charge!r}")
     if charge == "analytic" and work_model is None:
@@ -192,6 +211,11 @@ def prna_rank(
         )
     else:
         memo = DenseMemoTable(n, m)
+    if sanitize:
+        # Register the table with the sanitizer: this rank may only write
+        # columns s2.lefts[owned] + 1 between row synchronizations.
+        owned_arr0 = np.asarray(owned, dtype=np.int64)
+        memo = comm.guard_memo(memo, owned_columns=s2.lefts[owned_arr0] + 1)
     values = memo.values
     inner1 = s1.inner_ranges
     inner2 = s2.inner_ranges
@@ -311,7 +335,9 @@ def prna_rank(
             score = -1
         with span("bcast_wait", "comm"):
             score = comm.bcast(score, root=0)
-        memo.store(0, 0, score)
+        # Every rank stores the agreed score after the final broadcast, so
+        # the identical write is race-free by construction.
+        memo.store(0, 0, score)  # noqa: SPMD003
     finally:
         if stage_ctx is not None:
             stage_ctx.__exit__(None, None, None)
@@ -344,6 +370,8 @@ def prna(
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     shared_memory: bool | None = None,
+    sanitize: bool = False,
+    sanitize_timeout: float = 30.0,
 ) -> PRNAResult:
     """Convenience driver: run PRNA on *n_ranks* and return rank 0's result.
 
@@ -358,6 +386,10 @@ def prna(
     an in-memory tracer), every rank records its timeline on its own
     track; with ``collect_stats=True`` the result carries the rank's
     :class:`~repro.mpi.communicator.CommStats` counters as a dict.
+
+    ``sanitize=True`` runs the whole computation under the runtime SPMD
+    sanitizer (see :func:`prna_rank` and ``docs/static-analysis.md``);
+    results stay bit-identical, collective hangs become diagnostics.
     """
     if n_ranks < 1:
         raise SimulationError(f"n_ranks must be >= 1, got {n_ranks}")
@@ -375,6 +407,7 @@ def prna(
             partitioner=partitioner, engine=engine, sync_mode=sync_mode,
             charge=charge, work_model=work_model, validate=validate,
             tracer=tracer, shared_memory=shared_memory,
+            sanitize=sanitize, sanitize_timeout=sanitize_timeout,
         )
 
     if backend == "self":

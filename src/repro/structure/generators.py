@@ -252,9 +252,31 @@ def random_structure(
             arcs.append((i, j))
         if len(arcs) == n_arcs:
             return Structure(length, arcs)
-    raise StructureError(
-        f"failed to place {n_arcs} arcs in length {length} after 200 restarts"
-    )
+    # Saturated inputs (n_arcs near length/2) can defeat rejection sampling:
+    # almost every random placement crosses.  Fall back to a direct
+    # construction — choose the 2*n_arcs endpoint positions uniformly, then
+    # pair them by a random balanced-parenthesis (Dyck) word, which is
+    # non-crossing by construction and shares no endpoints.
+    positions = np.sort(rng.choice(length, size=2 * n_arcs, replace=False))
+    opens: list[int] = []
+    arcs = []
+    remaining_open = n_arcs
+    for idx in range(2 * n_arcs):
+        remaining_slots = 2 * n_arcs - idx
+        must_close = len(opens) == remaining_slots
+        must_open = remaining_open > 0 and not opens
+        if must_open:
+            choose_open = True
+        elif must_close:
+            choose_open = False
+        else:
+            choose_open = remaining_open > 0 and rng.random() < 0.5
+        if choose_open:
+            opens.append(int(positions[idx]))
+            remaining_open -= 1
+        else:
+            arcs.append((opens.pop(), int(positions[idx])))
+    return Structure(length, arcs)
 
 
 def rna_like_structure(

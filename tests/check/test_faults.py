@@ -1,0 +1,179 @@
+"""Fault injection: each seeded SPMD bug must be caught with its rule ID.
+
+Four classic bugs, each detected by the static pass, the runtime
+sanitizer, or both:
+
+1. rank-0-only barrier          -> SPMD001 (static), SAN101/SAN103 (runtime)
+2. mismatched Allreduce dtypes  -> SAN102
+3. out-of-partition shm write   -> SPMD003 (static), SAN202 (runtime)
+4. swapped send/recv tags       -> SPMD002 (static), SAN104 (runtime)
+"""
+
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.check import analyze_source
+from repro.check.sanitizer import SanitizedCommunicator
+from repro.core.memo import DenseMemoTable
+from repro.errors import SanitizerError
+from repro.mpi.inprocess import run_threaded
+
+
+def sanitized(comm, timeout=2.0):
+    return SanitizedCommunicator(comm, timeout=timeout)
+
+
+class TestRankZeroOnlyBarrier:
+    def test_static_detection(self):
+        findings = analyze_source(
+            textwrap.dedent(
+                """
+                def stage(comm):
+                    if comm.rank == 0:
+                        comm.barrier()
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["SPMD001"]
+
+    def test_runtime_divergence(self):
+        # Rank 1 skips the barrier and reaches the *next* collective; the
+        # stamp rendezvous sees two different ops at the same seq.
+        def fn(comm):
+            c = sanitized(comm)
+            if c.rank == 0:
+                c.barrier()
+            c.bcast(1, root=0)
+
+        with pytest.raises(SanitizerError, match="SAN101"):
+            run_threaded(fn, 2)
+
+    def test_runtime_hang_becomes_timeout(self):
+        # Rank 1 never issues any collective: rank 0's rendezvous times
+        # out and names the missing rank instead of deadlocking.
+        def fn(comm):
+            c = sanitized(comm, timeout=0.5)
+            if c.rank == 0:
+                c.barrier()
+
+        with pytest.raises(SanitizerError, match="SAN103.*rank\\(s\\) 1"):
+            run_threaded(fn, 2)
+
+
+class TestMismatchedAllreduceDtype:
+    def test_runtime_detection(self):
+        def fn(comm):
+            c = sanitized(comm)
+            dtype = np.int64 if c.rank == 0 else np.int32
+            c.Allreduce(np.zeros(4, dtype=dtype))
+
+        with pytest.raises(SanitizerError, match="SAN102.*dtype"):
+            run_threaded(fn, 2)
+
+    def test_mismatched_shape_also_caught(self):
+        def fn(comm):
+            c = sanitized(comm)
+            c.Allreduce(np.zeros(4 + c.rank, dtype=np.int64))
+
+        with pytest.raises(SanitizerError, match="SAN102.*shape"):
+            run_threaded(fn, 2)
+
+    def test_diagnostic_names_call_site(self):
+        def fn(comm):
+            c = sanitized(comm)
+            dtype = np.int64 if c.rank == 0 else np.int32
+            c.Allreduce(np.zeros(4, dtype=dtype))
+
+        with pytest.raises(SanitizerError, match="test_faults"):
+            run_threaded(fn, 2)
+
+
+class TestOutOfPartitionWrite:
+    def test_static_detection(self):
+        findings = analyze_source(
+            textwrap.dedent(
+                """
+                def stage(comm, j):
+                    memo = DenseMemoTable.wrap(comm.allocate_shared((8, 8)))
+                    memo.values[1, j] = 5
+                """
+            )
+        )
+        assert [f.rule for f in findings] == ["SPMD003"]
+
+    def test_runtime_detection(self):
+        def fn(comm):
+            c = sanitized(comm)
+            table = DenseMemoTable(4, 4)
+            owned = [0, 1] if c.rank == 0 else [2, 3]
+            memo = c.guard_memo(table, owned_columns=owned)
+            row = memo.values[1]
+            row[owned[0]] = 7
+            if c.rank == 1:
+                row[0] = 9  # rank 0's column
+            c.Allreduce(row)
+
+        with pytest.raises(SanitizerError, match="SAN202.*rank 1"):
+            run_threaded(fn, 2)
+
+    def test_write_write_overlap(self):
+        # Both ranks write the same cell with *different* values — caught
+        # even without ownership metadata.
+        def fn(comm):
+            c = sanitized(comm)
+            table = DenseMemoTable(4, 4)
+            memo = c.guard_memo(table)
+            row = memo.values[1]
+            row[2] = 10 + c.rank
+            c.Allreduce(row)
+
+        with pytest.raises(SanitizerError, match="SAN201"):
+            run_threaded(fn, 2)
+
+    def test_unordered_read_write(self):
+        def fn(comm):
+            c = sanitized(comm)
+            table = DenseMemoTable(4, 4)
+            owned = [1] if c.rank == 0 else [2]
+            memo = c.guard_memo(table, owned_columns=owned)
+            row = memo.values[1]
+            row[owned[0]] = 5
+            if c.rank == 0:
+                memo.lookup(1, 2)  # rank 1 is writing column 2 right now
+            c.Allreduce(row)
+
+        with pytest.raises(SanitizerError, match="SAN203"):
+            run_threaded(fn, 2)
+
+
+class TestSwappedTags:
+    def test_static_detection(self):
+        findings = analyze_source(
+            textwrap.dedent(
+                """
+                def stage(comm):
+                    if comm.rank == 0:
+                        comm.send("a", 1, tag=3)
+                        return comm.recv(1, tag=5)
+                    comm.send("b", 0, tag=4)
+                    return comm.recv(0, tag=3)
+                """
+            )
+        )
+        assert "SPMD002" in {f.rule for f in findings}
+        flagged = [f for f in findings if f.rule == "SPMD002"]
+        assert any("tag 4" in f.message for f in flagged)
+
+    def test_runtime_detection(self):
+        def fn(comm):
+            c = sanitized(comm, timeout=0.5)
+            if c.rank == 0:
+                c.send("a", 1, tag=3)
+                return c.recv(1, tag=5)
+            c.send("b", 0, tag=4)  # bug: rank 0 expects tag 5
+            return c.recv(0, tag=3)
+
+        with pytest.raises(SanitizerError, match="SAN104.*tag=5"):
+            run_threaded(fn, 2)

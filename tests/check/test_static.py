@@ -1,0 +1,376 @@
+"""Unit tests for the SPMD static pass (rules, suppression, driver)."""
+
+import json
+import io
+import os
+import textwrap
+
+import pytest
+
+from repro.check import analyze_source, run_check
+from repro.check.findings import RULES, Finding, is_suppressed
+
+
+def check(source: str):
+    return analyze_source(textwrap.dedent(source), path="snippet.py")
+
+
+def rules_of(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+class TestSPMD001:
+    def test_barrier_under_rank_if(self):
+        findings = check(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.barrier()
+            """
+        )
+        assert rules_of(findings) == ["SPMD001"]
+        assert "barrier" in findings[0].message
+        assert findings[0].line == 4  # snippet has a leading blank line
+
+    def test_collective_in_else_branch(self):
+        findings = check(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    pass
+                else:
+                    comm.bcast(1, root=0)
+            """
+        )
+        assert rules_of(findings) == ["SPMD001"]
+
+    def test_while_and_ifexp(self):
+        findings = check(
+            """
+            def fn(comm, my_rank):
+                while my_rank < 2:
+                    comm.allreduce(1)
+                x = comm.gather(1) if my_rank else None
+            """
+        )
+        assert rules_of(findings) == ["SPMD001", "SPMD001"]
+
+    def test_uniform_conditional_is_clean(self):
+        findings = check(
+            """
+            def fn(comm, n):
+                if n > 10:
+                    comm.barrier()
+            """
+        )
+        assert findings == []
+
+    def test_all_ranks_collective_is_clean(self):
+        findings = check(
+            """
+            def fn(comm):
+                comm.barrier()
+                score = comm.bcast(1, root=0)
+            """
+        )
+        assert findings == []
+
+    def test_nested_function_resets_context(self):
+        # The nested def is *called* from rank-uniform context; flagging
+        # its body would be a false positive.
+        findings = check(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    def helper():
+                        comm.barrier()
+            """
+        )
+        assert findings == []
+
+    def test_numpy_reduce_not_a_collective(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn(rank, xs):
+                if rank == 0:
+                    return np.maximum.reduce(xs)
+            """
+        )
+        assert findings == []
+
+    def test_rank_test_inside_collective_free_branch_then_after(self):
+        # Collective *after* the conditional is fine.
+        findings = check(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    x = 1
+                comm.barrier()
+            """
+        )
+        assert findings == []
+
+
+class TestSPMD002:
+    def test_unmatched_literal_tag(self):
+        findings = check(
+            """
+            def fn(comm):
+                comm.send("x", 1, tag=3)
+                comm.recv(0, tag=5)
+            """
+        )
+        assert rules_of(findings) == ["SPMD002"]
+        assert "tag 3" in findings[0].message
+
+    def test_matched_literal_tags_clean(self):
+        findings = check(
+            """
+            def fn(comm):
+                comm.send("x", 1, tag=3)
+                comm.recv(0, tag=3)
+            """
+        )
+        assert findings == []
+
+    def test_module_constant_tags(self):
+        findings = check(
+            """
+            TAG_WORK = 7
+            TAG_STOP = 8
+            def fn(comm):
+                comm.send("x", 1, tag=TAG_WORK)
+                comm.recv(0, tag=TAG_WORK)
+                comm.isend("y", 1, tag=TAG_STOP)
+            """
+        )
+        assert rules_of(findings) == ["SPMD002"]
+        assert "tag 8" in findings[0].message
+
+    def test_class_attribute_tags(self):
+        findings = check(
+            """
+            class Comm:
+                _PING = 17
+                def fn(self):
+                    self.send("x", 1, tag=self._PING)
+                    self.recv(0, tag=self._PING)
+            """
+        )
+        assert findings == []
+
+    def test_dynamic_recv_is_wildcard(self):
+        # A receive with an unresolvable tag may match anything; the whole
+        # module is exempt (conservative, avoids false positives).
+        findings = check(
+            """
+            def fn(comm, tag):
+                comm.send("x", 1, tag=99)
+                comm.recv(0, tag=tag)
+            """
+        )
+        assert findings == []
+
+    def test_default_tags_match(self):
+        findings = check(
+            """
+            def fn(comm):
+                comm.send("x", 1)
+                comm.recv(0)
+            """
+        )
+        assert findings == []
+
+
+class TestSPMD003:
+    def test_unguarded_write_to_shared(self):
+        findings = check(
+            """
+            def fn(comm, j):
+                table = comm.allocate_shared((4, 4))
+                table[0, j] = 1
+            """
+        )
+        assert rules_of(findings) == ["SPMD003"]
+
+    def test_owned_guarded_write_clean(self):
+        findings = check(
+            """
+            def fn(comm, partition):
+                table = comm.allocate_shared((4, 4))
+                owned = partition.tasks_of(comm.rank)
+                for b in owned:
+                    table[0, b] = 1
+            """
+        )
+        assert findings == []
+
+    def test_membership_guard_clean(self):
+        findings = check(
+            """
+            def fn(comm, owned_set, b):
+                table = comm.allocate_shared((4, 4))
+                if b in owned_set:
+                    table[0, b] = 1
+            """
+        )
+        assert findings == []
+
+    def test_wrap_taints_and_store_flagged(self):
+        findings = check(
+            """
+            def fn(comm):
+                memo = DenseMemoTable.wrap(comm.allocate_shared((4, 4)))
+                memo.store(0, 0, 5)
+            """
+        )
+        assert rules_of(findings) == ["SPMD003"]
+
+    def test_private_table_writes_clean(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn(j):
+                table = np.zeros((4, 4))
+                table[0, j] = 1
+            """
+        )
+        assert findings == []
+
+
+class TestSPMD004:
+    def test_narrow_array_into_lift_kernel(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn(s1, s2):
+                values = np.zeros((4, 4), dtype=np.int32)
+                return tabulate_slice_batched(values, s1, s2, 1, 2, None)
+            """
+        )
+        assert rules_of(findings) == ["SPMD004"]
+        assert "int32" in findings[0].message
+
+    def test_narrow_memo_table_dtype(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn():
+                return DenseMemoTable(4, 4, dtype=np.int16)
+            """
+        )
+        assert rules_of(findings) == ["SPMD004"]
+
+    def test_int64_clean(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn(s1, s2):
+                values = np.zeros((4, 4), dtype=np.int64)
+                return tabulate_slice_batched(values, s1, s2, 1, 2, None)
+            """
+        )
+        assert findings == []
+
+    def test_narrow_array_not_reaching_kernel_clean(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn():
+                flags = np.zeros(8, dtype=np.uint8)
+                return flags.sum()
+            """
+        )
+        assert findings == []
+
+
+class TestSuppression:
+    def test_bare_noqa(self):
+        assert is_suppressed("SPMD001", "comm.barrier()  # noqa")
+
+    def test_listed_code(self):
+        line = "memo.store(0, 0, s)  # noqa: SPMD003"
+        assert is_suppressed("SPMD003", line)
+        assert not is_suppressed("SPMD001", line)
+
+    def test_multiple_codes(self):
+        line = "x = 1  # noqa: SPMD001, SPMD004"
+        assert is_suppressed("SPMD001", line)
+        assert is_suppressed("SPMD004", line)
+        assert not is_suppressed("SPMD002", line)
+
+    def test_noqa_filters_findings(self):
+        findings = check(
+            """
+            def fn(comm):
+                if comm.rank == 0:
+                    comm.barrier()  # noqa: SPMD001
+            """
+        )
+        assert findings == []
+
+
+class TestDriver:
+    def test_rule_catalog_complete(self):
+        assert set(RULES) == {"SPMD001", "SPMD002", "SPMD003", "SPMD004"}
+
+    def test_finding_render_is_clickable(self):
+        finding = Finding("SPMD001", "a.py", 3, 4, "boom")
+        assert finding.render() == "a.py:3:4: SPMD001 boom"
+
+    def test_run_check_clean_file(self, tmp_path):
+        path = tmp_path / "ok.py"
+        path.write_text("def fn(comm):\n    comm.barrier()\n")
+        stream = io.StringIO()
+        assert run_check([str(path)], stream=stream) == 0
+        assert "OK" in stream.getvalue()
+
+    def test_run_check_findings_and_json(self, tmp_path):
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "def fn(comm):\n    if comm.rank == 0:\n        comm.barrier()\n"
+        )
+        stream = io.StringIO()
+        assert run_check([str(path)], json_output=True, stream=stream) == 1
+        payload = json.loads(stream.getvalue())
+        assert payload["checked_files"] == 1
+        assert payload["findings"][0]["rule"] == "SPMD001"
+        assert payload["findings"][0]["line"] == 3
+
+    def test_run_check_missing_path(self):
+        stream = io.StringIO()
+        assert run_check(["definitely/not/here.py"], stream=stream) == 2
+
+    def test_shipped_tree_is_clean(self):
+        # The acceptance criterion: the static pass exits 0 on src/repro.
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+            "repro",
+        )
+        if not os.path.isdir(src):
+            pytest.skip("source tree not available (installed package)")
+        stream = io.StringIO()
+        assert run_check([src], stream=stream) == 0, stream.getvalue()
+
+
+class TestCLI:
+    def test_check_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.py"
+        path.write_text(
+            "def fn(comm):\n    if comm.rank == 0:\n        comm.barrier()\n"
+        )
+        assert main(["check", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "SPMD001" in out
+
+    def test_check_list_rules(self, capsys):
+        from repro.cli import main
+
+        assert main(["check", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
