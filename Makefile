@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo lint examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -43,7 +43,13 @@ lint:
 sanitize-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.check.demo
 
-verify: lint trace-demo bench-smoke sanitize-demo
+# Planner transparency check: prints plan.explain() for the contrived
+# worst case (must route to multi-rank PRNA) and a small pair (must stay
+# sequential SRNA2).
+plan-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.runtime.demo
+
+verify: lint trace-demo bench-smoke sanitize-demo plan-demo
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

@@ -16,11 +16,17 @@ regenerates the paper's Tables I-III and Figure 8.
 
 Quick start::
 
-    from repro import mcos, from_dotbracket
+    from repro import solve, from_dotbracket
 
     s1 = from_dotbracket("((..((..))..))")
     s2 = from_dotbracket("((((....))))")
-    print(mcos(s1, s2).score)
+    result = solve(s1, s2)          # algorithm="auto": planner decides
+    print(result.score)
+    print(result.plan.explain())    # why it ran the way it did
+
+``solve`` routes through the :mod:`repro.runtime` planner/context/solver
+stack (see ``docs/architecture.md``); ``mcos`` is the historical
+fixed-algorithm entry point, now a thin shim over the same stack.
 """
 
 from repro._version import __version__
@@ -30,6 +36,7 @@ from repro.core.api import (
     mcos,
     mcos_size,
 )
+from repro.runtime import Plan, ResourceHints, Solver, solve, solve_batch
 from repro.structure.arcs import Arc, Structure
 from repro.structure.dotbracket import from_dotbracket, to_dotbracket
 
@@ -43,4 +50,9 @@ __all__ = [
     "mcos_size",
     "common_substructure",
     "CommonStructureResult",
+    "Plan",
+    "ResourceHints",
+    "Solver",
+    "solve",
+    "solve_batch",
 ]

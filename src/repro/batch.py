@@ -7,6 +7,11 @@ provides that outer loop: rank a target collection against a query,
 optionally across worker processes (each pair is independent, so a process
 pool sidesteps the GIL with no coordination).
 
+:func:`search` is a thin shim over the solver facade
+(:func:`repro.runtime.solver.solve_batch`): the per-pair algorithm and
+engine are planned there, and every search appends a run record carrying
+the plan.  :func:`run_search` is the raw executor the facade drives.
+
 The two levels compose naturally: use :func:`search` across a database on
 a workstation, and PRNA for the single gigantic comparison on a cluster.
 """
@@ -16,15 +21,15 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.srna2 import srna2
 from repro.errors import ReproError
+from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.structure.arcs import Structure
 
-__all__ = ["SearchHit", "search", "score_matrix"]
+__all__ = ["SearchHit", "run_search", "search", "score_matrix"]
 
 
 @dataclass(frozen=True)
@@ -50,41 +55,69 @@ class SearchHit:
         return self.score / self.target_arcs
 
 
-def _score_one(args: tuple[str, Structure, Structure]) -> tuple[str, int]:
-    name, query, target = args
-    return name, srna2(query, target).score
+def _score_one(
+    args: tuple[str, Structure, Structure, str, str | None],
+) -> tuple[str, int]:
+    name, query, target, algorithm, engine = args
+    from repro.runtime.solver import score_pair
+
+    return name, score_pair(query, target, algorithm=algorithm, engine=engine)
 
 
-def search(
+def run_search(
     query: Structure,
-    targets: Mapping[str, Structure] | Iterable[tuple[str, Structure]],
+    items: Sequence[tuple[str, Structure]],
     *,
+    algorithm: str = "srna2",
+    engine: str | None = None,
     n_workers: int = 1,
+    tracer: Tracer | None = None,
 ) -> list[SearchHit]:
-    """Score *query* against every target; return hits sorted best-first.
+    """Execute a planned search: score every pair, rank the hits.
 
-    ``n_workers > 1`` fans the independent comparisons out over a process
-    pool (fork; POSIX only) — each pair is a separate SRNA2 run, so the
-    speedup is near-linear in cores for non-trivial targets.
+    The raw executor under :meth:`repro.runtime.Solver.solve_batch` —
+    no planning, no run records.  ``n_workers > 1`` fans the independent
+    comparisons out over a fork process pool (POSIX only); serial runs
+    record one ``"compute"`` span per target on *tracer* (pool workers
+    cannot share an in-memory tracer, so a parallel run records a single
+    enclosing span).
 
     Ties are broken by name for deterministic output.
     """
     if n_workers < 1:
         raise ReproError(f"n_workers must be >= 1, got {n_workers}")
-    items = list(targets.items()) if hasattr(targets, "items") else list(targets)
-    jobs = [(name, query, target) for name, target in items]
+    jobs = [(name, query, target, algorithm, engine) for name, target in items]
     if n_workers == 1 or len(jobs) <= 1:
-        scored = [_score_one(job) for job in jobs]
+        scored = []
+        for job in jobs:
+            span = (
+                tracer.span(
+                    f"score:{job[0]}", category="compute", algorithm=algorithm
+                )
+                if tracer is not None
+                else NULL_SPAN
+            )
+            with span:
+                scored.append(_score_one(job))
     else:
         if os.name != "posix":  # pragma: no cover - platform guard
             raise ReproError("multi-worker search requires POSIX fork")
         import multiprocessing as mp
 
-        with ProcessPoolExecutor(
-            max_workers=min(n_workers, len(jobs)),
-            mp_context=mp.get_context("fork"),
-        ) as pool:
-            scored = list(pool.map(_score_one, jobs))
+        span = (
+            tracer.span(
+                "search_pool", category="compute",
+                targets=len(jobs), workers=min(n_workers, len(jobs)),
+            )
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            with ProcessPoolExecutor(
+                max_workers=min(n_workers, len(jobs)),
+                mp_context=mp.get_context("fork"),
+            ) as pool:
+                scored = list(pool.map(_score_one, jobs))
     by_name = dict(items)
     hits = [
         SearchHit(
@@ -97,6 +130,38 @@ def search(
     ]
     hits.sort(key=lambda hit: (-hit.score, hit.name))
     return hits
+
+
+def search(
+    query: Structure,
+    targets: Mapping[str, Structure] | Iterable[tuple[str, Structure]],
+    *,
+    n_workers: int = 1,
+    algorithm: str = "srna2",
+    engine: str | None = None,
+    tracer: Tracer | None = None,
+) -> list[SearchHit]:
+    """Score *query* against every target; return hits sorted best-first.
+
+    A thin shim over the solver facade: the search is planned
+    (:meth:`repro.runtime.Planner.plan_batch`), executed by
+    :func:`run_search`, and recorded with its serialized plan.
+    ``n_workers > 1`` fans the independent comparisons out over a process
+    pool (fork; POSIX only) — each pair is a separate sequential run, so
+    the speedup is near-linear in cores for non-trivial targets.
+
+    Ties are broken by name for deterministic output.
+    """
+    from repro.runtime.context import ExecutionContext
+    from repro.runtime.solver import Solver
+
+    context = ExecutionContext(tracer=tracer) if tracer is not None else None
+    return Solver(context=context).solve_batch(
+        query, targets,
+        algorithm=algorithm,
+        engine=engine if engine is not None else "auto",
+        n_workers=n_workers,
+    )
 
 
 def score_matrix(
@@ -119,7 +184,13 @@ def score_matrix(
         matrix[i, i] = structures[names[i]].n_arcs
         for j in range(i + 1, size):
             jobs.append(
-                (f"{i},{j}", structures[names[i]], structures[names[j]])
+                (
+                    f"{i},{j}",
+                    structures[names[i]],
+                    structures[names[j]],
+                    "srna2",
+                    None,
+                )
             )
     if n_workers == 1 or len(jobs) <= 1:
         scored = [_score_one(job) for job in jobs]

@@ -32,6 +32,11 @@ RULES: dict[str, str] = {
         "narrow integer dtype flows into a lift-based batched kernel (the "
         "segmented prefix-max lift in core/slices.py can overflow it)"
     ),
+    "ARCH001": (
+        "direct construction of communicators/Tracer/shm memo outside "
+        "repro.runtime.context (route through ExecutionContext so plans, "
+        "stats and sanitizers stay consistent)"
+    ),
 }
 
 #: ``# noqa`` / ``# noqa: SPMD001, SPMD003`` on the flagged line.

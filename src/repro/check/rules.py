@@ -20,14 +20,21 @@ false positives are rare enough to handle with ``# noqa`` comments:
   name containing ``owned``, a loop over / membership test against such a
   name).  Outside its partition a rank races the Allreduce window.
 * **SPMD004** — an array created with an explicit sub-64-bit integer
-  dtype flowing into a ``tabulate_slice*`` kernel or ``DenseMemoTable``:
+  dtype flowing into a ``tabulate_slice`` kernel or ``DenseMemoTable``:
   the segmented prefix-max lift in :mod:`repro.core.slices` offsets
   segment ``s`` by ``s * stride`` and can overflow narrow dtypes.
+* **ARCH001** — direct construction of run-scoped machinery
+  (communicators, backend launchers, ``Tracer``, shared-memory memo
+  tables) outside :mod:`repro.runtime.context`, the layer that owns them.
+  The defining substrate modules (``repro/mpi/*``, ``repro/obs/tracer.py``,
+  ``repro/check/sanitizer.py``) are exempt; the context module itself
+  carries the single sanctioned ``# noqa: ARCH001`` on its factory table.
 """
 
 from __future__ import annotations
 
 import ast
+import os
 
 from repro.check.findings import Finding
 
@@ -527,6 +534,86 @@ def _check_dtype_smells(
 
 
 # ----------------------------------------------------------------------
+# ARCH001 — runtime machinery constructed outside repro.runtime.context
+# ----------------------------------------------------------------------
+#: Factories whose *call* marks a construction the execution context owns.
+_ARCH_FACTORIES = frozenset(
+    {
+        "Tracer",
+        "SanitizedCommunicator",
+        "SelfCommunicator",
+        "ThreadCommunicator",
+        "ProcessCommunicator",
+        "run_threaded",
+        "run_multiprocess",
+    }
+)
+
+#: Modules allowed to construct freely: the substrate that *defines* the
+#: machinery.  ``repro/runtime/context.py`` is deliberately NOT here — it
+#: funnels every construction through one ``# noqa: ARCH001`` line.
+_ARCH_EXEMPT_SUFFIXES = (
+    "repro/obs/tracer.py",
+    "repro/check/sanitizer.py",
+)
+
+
+def _arch_exempt(path: str) -> bool:
+    norm = path.replace(os.sep, "/")
+    if any(norm.endswith(suffix) for suffix in _ARCH_EXEMPT_SUFFIXES):
+        return True
+    return "/mpi/" in norm
+
+
+def _arch_flagged_name(call: ast.Call) -> str | None:
+    func = call.func
+    name = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id
+        if isinstance(func, ast.Name)
+        else None
+    )
+    if name in _ARCH_FACTORIES:
+        return name
+    if name == "allocate_shared" and isinstance(func, ast.Attribute):
+        return "allocate_shared"
+    if (
+        name == "wrap"
+        and isinstance(func, ast.Attribute)
+        and "DenseMemoTable" in ast.unparse(func.value)
+    ):
+        return "DenseMemoTable.wrap"
+    return None
+
+
+def _check_architecture(
+    tree: ast.Module, path: str, findings: list[Finding]
+) -> None:
+    if _arch_exempt(path):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        flagged = _arch_flagged_name(node)
+        if flagged is None:
+            continue
+        findings.append(
+            Finding(
+                "ARCH001",
+                path,
+                node.lineno,
+                node.col_offset,
+                f"direct construction of runtime machinery ({flagged!r}) "
+                "outside repro.runtime.context — route through "
+                "ExecutionContext (or its sanitize_communicator/"
+                "shared_memo helpers) so plans, stats and sanitizers "
+                "stay consistent",
+            )
+        )
+
+
+# ----------------------------------------------------------------------
 def analyze_module(tree: ast.Module, path: str) -> list[Finding]:
     """Run every static rule over one parsed module."""
     findings: list[Finding] = []
@@ -534,5 +621,6 @@ def analyze_module(tree: ast.Module, path: str) -> list[Finding]:
     _check_tags(tree, path, findings)
     _check_shm_writes(tree, path, findings)
     _check_dtype_smells(tree, path, findings)
+    _check_architecture(tree, path, findings)
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings

@@ -24,8 +24,14 @@ import os
 import sys
 
 from repro._version import __version__
-from repro.core.api import mcos
 from repro.errors import ReproError
+from repro.runtime.registry import (
+    ALGORITHMS,
+    AUTO,
+    BATCH_ALGORITHMS,
+    ENGINE_NAMES,
+    PARTITIONER_NAMES,
+)
 from repro.structure.arcs import Structure
 from repro.structure.dotbracket import from_dotbracket, to_dotbracket
 from repro.structure.generators import (
@@ -84,17 +90,20 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
         print(render_comparison(s1, s2))
         return 0
+    from repro.runtime.solver import solve
+
     tracer = None
     inst = None
     if args.trace or args.metrics:
-        from repro.core.instrument import Instrumentation
-        from repro.obs.tracer import Tracer
+        from repro.runtime.context import ExecutionContext
 
-        tracer = Tracer() if args.trace else None
-        inst = Instrumentation(tracer=tracer)
-    result = mcos(
-        s1, s2, algorithm=args.algorithm, with_backtrace=args.backtrace,
-        instrumentation=inst,
+        context = ExecutionContext(trace=bool(args.trace))
+        tracer = context.tracer
+        inst = context.instrumentation()
+    result = solve(
+        s1, s2, algorithm=args.algorithm, engine=args.engine,
+        with_backtrace=args.backtrace, instrumentation=inst,
+        record_kind="compare",
     )
     print(f"MCOS score: {result.score}")
     print(f"algorithm:  {result.algorithm}")
@@ -115,8 +124,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         _append_metrics(
             args.metrics,
             "compare",
-            {"algorithm": args.algorithm, "s1_arcs": s1.n_arcs,
-             "s2_arcs": s2.n_arcs, "score": result.score},
+            {"algorithm": result.algorithm, "s1_arcs": s1.n_arcs,
+             "s2_arcs": s2.n_arcs, "score": result.score,
+             "plan": result.plan.to_dict()},
             registry.as_dict(),
         )
     return 0
@@ -172,14 +182,23 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.batch import search
+    from repro.runtime.solver import Solver
 
     query = _load(args.query)
     targets = {}
     for path in args.targets:
         name = os.path.splitext(os.path.basename(path))[0]
         targets[name] = _load(path)
-    hits = search(query, targets, n_workers=args.workers)
+    context = None
+    if args.trace:
+        from repro.runtime.context import ExecutionContext
+
+        context = ExecutionContext(trace=True)
+    hits = Solver(context=context).solve_batch(
+        query, targets,
+        algorithm=args.algorithm, engine=args.engine,
+        n_workers=args.workers,
+    )
     print(f"query: {query.length} nt, {query.n_arcs} arcs")
     print(f"{'rank':>4} {'target':<24} {'arcs':>6} {'score':>6} {'coverage':>9}")
     for position, hit in enumerate(hits, start=1):
@@ -187,6 +206,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"{position:>4} {hit.name:<24} {hit.target_arcs:>6} "
             f"{hit.score:>6} {hit.query_coverage:>8.1%}"
         )
+    if context is not None:
+        _write_trace(context.tracer, args.trace)
     return 0
 
 
@@ -210,10 +231,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
     executed_stats = None
     if args.trace:
-        from repro.obs.tracer import Tracer
         from repro.parallel.prna import prna
+        from repro.runtime.context import ExecutionContext
 
-        tracer = Tracer()
+        tracer = ExecutionContext(trace=True).tracer
         executed = prna(
             structure, structure, args.trace_ranks,
             backend="thread", partitioner=args.partitioner,
@@ -283,7 +304,13 @@ def main(argv: list[str] | None = None) -> int:
     compare.add_argument("second", help="file or dot-bracket string")
     compare.add_argument(
         "--algorithm", default="srna2",
-        choices=("srna2", "srna1", "topdown", "dense"),
+        choices=(*ALGORITHMS, AUTO),
+        help="algorithm, or 'auto' to let the planner choose",
+    )
+    compare.add_argument(
+        "--engine", default=AUTO,
+        choices=(*ENGINE_NAMES, AUTO),
+        help="slice engine, or 'auto' (default) to let the planner choose",
     )
     compare.add_argument(
         "--backtrace", action="store_true",
@@ -329,6 +356,20 @@ def main(argv: list[str] | None = None) -> int:
     search_cmd.add_argument("query", help="file or dot-bracket string")
     search_cmd.add_argument("targets", nargs="+", help="target files")
     search_cmd.add_argument("--workers", type=int, default=1)
+    search_cmd.add_argument(
+        "--algorithm", default=AUTO,
+        choices=(*BATCH_ALGORITHMS, AUTO),
+        help="per-pair scoring algorithm, or 'auto' (default)",
+    )
+    search_cmd.add_argument(
+        "--engine", default=AUTO,
+        choices=(*ENGINE_NAMES, AUTO),
+        help="slice engine for per-pair runs, or 'auto' (default)",
+    )
+    search_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write a Chrome trace-event file of the per-target scoring",
+    )
     search_cmd.set_defaults(func=_cmd_search)
 
     simulate = sub.add_parser(
@@ -338,8 +379,7 @@ def main(argv: list[str] | None = None) -> int:
     simulate.add_argument("--length", type=int, default=1600)
     simulate.add_argument("--procs", default="1,2,4,8,16,32,64")
     simulate.add_argument(
-        "--partitioner", default="greedy",
-        choices=("greedy", "block", "cyclic"),
+        "--partitioner", default="greedy", choices=PARTITIONER_NAMES,
     )
     simulate.add_argument(
         "--trace", metavar="PATH", default=None,

@@ -10,25 +10,29 @@ Most users need exactly one call::
 ``algorithm`` selects between the paper's algorithms and the baselines —
 ``"srna2"`` (default, fastest), ``"srna1"``, ``"topdown"``, ``"dense"`` —
 all of which produce identical scores (a fact the test suite leans on
-heavily).
+heavily).  Since the :mod:`repro.runtime` refactor this function is a thin
+shim over the solver facade: every call is planned
+(:class:`repro.runtime.Planner`) and recorded, ``algorithm="auto"`` /
+``engine="auto"`` hand the choice to the planner, and the parallel
+algorithms (``"prna"``, ``"managerworker"``) are accepted too.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.backtrace import MatchedPair, backtrace
-from repro.core.dense import dense_mcos
+from repro.core.backtrace import MatchedPair
 from repro.core.instrument import Instrumentation
-from repro.core.srna1 import srna1
-from repro.core.srna2 import srna2
-from repro.core.topdown import topdown_mcos
+from repro.runtime.registry import SEQUENTIAL_ALGORITHMS
+from repro.runtime.solver import solve
 from repro.structure.arcs import Structure
 from repro.structure.dotbracket import from_dotbracket
 
 __all__ = ["CommonStructureResult", "mcos", "mcos_size", "common_substructure"]
 
-ALGORITHMS = ("srna2", "srna1", "topdown", "dense")
+#: Back-compat alias — the sequential algorithm names now live in
+#: :mod:`repro.runtime.registry`.
+ALGORITHMS = SEQUENTIAL_ALGORITHMS
 
 
 @dataclass
@@ -68,9 +72,13 @@ def mcos(
     s1, s2:
         :class:`Structure` objects or dot-bracket strings.
     algorithm:
-        ``"srna2"`` (default), ``"srna1"``, ``"topdown"`` or ``"dense"``.
+        ``"srna2"`` (default), ``"srna1"``, ``"topdown"``, ``"dense"`` —
+        or ``"auto"`` to let the planner choose (which may select a
+        parallel algorithm for large inputs), or a parallel algorithm
+        name directly.
     engine:
-        Slice engine for SRNA2 (``"vectorized"`` or ``"python"``).
+        Slice engine for SRNA2 (``"vectorized"`` or ``"python"`` or
+        ``"batched"``), or ``"auto"``.
     with_backtrace:
         Also recover the matched arc pairs (requires ``srna1``/``srna2``).
     instrument:
@@ -80,32 +88,20 @@ def mcos(
         one — e.g. one carrying a :class:`repro.obs.tracer.Tracer` so stage
         spans land in a trace file.  Implies ``instrument``.
     """
-    s1 = _coerce(s1)
-    s2 = _coerce(s2)
     if instrumentation is not None:
         inst = instrumentation
     else:
         inst = Instrumentation() if instrument else None
-    if algorithm == "srna2":
-        run = srna2(s1, s2, engine=engine, instrumentation=inst)
-        pairs = backtrace(run.memo, s1, s2) if with_backtrace else None
-        return CommonStructureResult(run.score, algorithm, pairs, inst)
-    if algorithm == "srna1":
-        run1 = srna1(s1, s2, instrumentation=inst)
-        pairs = backtrace(run1.memo, s1, s2) if with_backtrace else None
-        return CommonStructureResult(run1.score, algorithm, pairs, inst)
-    if with_backtrace:
-        raise ValueError(
-            f"with_backtrace requires algorithm 'srna1' or 'srna2', "
-            f"not {algorithm!r}"
-        )
-    if algorithm == "topdown":
-        score = topdown_mcos(s1, s2, instrumentation=inst)
-        return CommonStructureResult(score, algorithm, None, inst)
-    if algorithm == "dense":
-        score = dense_mcos(s1, s2, instrumentation=inst)
-        return CommonStructureResult(score, algorithm, None, inst)
-    raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    result = solve(
+        _coerce(s1), _coerce(s2),
+        algorithm=algorithm, engine=engine,
+        with_backtrace=with_backtrace, instrumentation=inst,
+        record_kind="mcos",
+    )
+    return CommonStructureResult(
+        result.score, result.algorithm, result.matched_pairs,
+        result.instrumentation,
+    )
 
 
 def mcos_size(s1: Structure | str, s2: Structure | str) -> int:

@@ -8,7 +8,7 @@ from contextlib import nullcontext
 from typing import Callable
 
 from repro.errors import ExperimentError
-from repro.obs.tracer import Tracer
+from repro.runtime.context import ExecutionContext
 from repro.experiments import (
     ablations,
     efficiency,
@@ -127,7 +127,7 @@ def main(argv: list[str] | None = None) -> int:
         if name not in seen:
             seen.append(name)
 
-    tracer = Tracer() if args.trace else None
+    tracer = ExecutionContext(trace=True).tracer if args.trace else None
     if tracer is not None:
         tracer.name_track(0, "experiments")
     report = ExperimentReport()

@@ -145,8 +145,8 @@ def _check_figure8(verdicts: list[_Verdict]) -> None:
 def _check_parallel(verdicts: list[_Verdict]) -> None:
     import numpy as np
 
-    from repro.mpi.inprocess import run_threaded
     from repro.parallel.prna import prna, prna_rank
+    from repro.runtime.context import ExecutionContext
 
     structure = contrived_worst_case(60)
     reference = srna2(structure, structure)
@@ -171,7 +171,9 @@ def _check_parallel(verdicts: list[_Verdict]) -> None:
         prna_rank(comm, structure, structure)
         return stats.allreduces, stats.sends
 
-    allreduces, sends = run_threaded(counted, 2)[0]
+    allreduces, sends = ExecutionContext().launch(
+        counted, n_ranks=2, backend="thread"
+    )[0]
     pattern_ok = allreduces == structure.n_arcs and sends == 0
     verdicts.append(
         _Verdict(

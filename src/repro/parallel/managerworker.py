@@ -39,10 +39,13 @@ from repro.core.slices import ENGINES
 from repro.errors import SimulationError
 from repro.mpi.communicator import Communicator
 from repro.mpi.costmodel import ClusterSpec, CostModel, DEFAULT_CLUSTER
+from repro.obs.tracer import Tracer
 from repro.perf.model import WorkModel
+from repro.runtime.context import ExecutionContext
 from repro.structure.arcs import Structure
 
 __all__ = [
+    "manager_worker",
     "manager_worker_rank",
     "ManagerWorkerResult",
     "simulate_manager_worker",
@@ -214,6 +217,33 @@ def _worker(
     return ManagerWorkerResult(
         score, comm.rank, comm.size, None, tasks_computed
     )
+
+
+def manager_worker(
+    s1: Structure,
+    s2: Structure,
+    n_ranks: int = 2,
+    *,
+    engine: str = "vectorized",
+    backend: str = "thread",
+    collect_stats: bool = False,
+    tracer: Tracer | None = None,
+) -> ManagerWorkerResult:
+    """Convenience driver: run the scheme on *n_ranks*; the manager's result.
+
+    The dynamic counterpart of :func:`repro.parallel.prna.prna`, and the
+    same shape of shim: backend dispatch and stats enabling live in
+    :class:`repro.runtime.ExecutionContext`.  The manager polls per-worker
+    point-to-point queues, so the in-process backends (``"thread"``, or
+    ``"self"`` for the degenerate single-rank world) are the natural fit.
+    """
+    context = ExecutionContext(tracer=tracer, collect_stats=collect_stats)
+    results = context.launch(
+        lambda comm: manager_worker_rank(comm, s1, s2, engine=engine),
+        n_ranks=n_ranks,
+        backend=backend,
+    )
+    return results[0]
 
 
 # ----------------------------------------------------------------------

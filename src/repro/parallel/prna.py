@@ -38,19 +38,17 @@ import numpy as np
 from repro.core.instrument import Instrumentation
 from repro.core.memo import DenseMemoTable
 from repro.core.slices import BATCH_ENGINES, ENGINES
-from repro.errors import CommunicatorError, SimulationError
-from repro.mpi.communicator import Communicator, ReduceOp, SelfCommunicator
-from repro.mpi.inprocess import run_threaded
-from repro.mpi.process import run_multiprocess
+from repro.errors import CommunicatorError
+from repro.mpi.communicator import Communicator, ReduceOp
 from repro.obs.tracer import NULL_SPAN, Tracer
 from repro.perf.model import WorkModel
+from repro.runtime.context import ExecutionContext, sanitize_communicator, shared_memo
+from repro.runtime.registry import SYNC_MODES
 from repro.scheduling.partition import PARTITIONERS, Partition
 from repro.scheduling.workload import column_weights
 from repro.structure.arcs import Structure
 
 __all__ = ["PRNAResult", "prna_rank", "prna", "SYNC_MODES"]
-
-SYNC_MODES = ("row", "pair", "deferred")
 
 
 @dataclass
@@ -140,12 +138,9 @@ def prna_rank(
     if sync_mode not in SYNC_MODES:
         raise ValueError(f"unknown sync_mode {sync_mode!r}; one of {SYNC_MODES}")
     if sanitize:
-        from repro.check.sanitizer import SanitizedCommunicator
-
-        if not isinstance(comm, SanitizedCommunicator):
-            comm = SanitizedCommunicator(
-                comm, timeout=sanitize_timeout, tracer=tracer
-            )
+        comm = sanitize_communicator(
+            comm, timeout=sanitize_timeout, tracer=tracer
+        )
     if charge not in (None, "measured", "analytic"):
         raise ValueError(f"unknown charge policy {charge!r}")
     if charge == "analytic" and work_model is None:
@@ -206,9 +201,7 @@ def prna_rank(
     if use_shm:
         # Collective: every rank allocates its own segment and attaches
         # the peers'.  Row views of this table make Allreduce zero-copy.
-        memo = DenseMemoTable.wrap(
-            comm.allocate_shared((max(n, 1), max(m, 1)), np.int64)
-        )
+        memo = shared_memo(comm, n, m)
     else:
         memo = DenseMemoTable(n, m)
     if sanitize:
@@ -390,18 +383,14 @@ def prna(
     ``sanitize=True`` runs the whole computation under the runtime SPMD
     sanitizer (see :func:`prna_rank` and ``docs/static-analysis.md``);
     results stay bit-identical, collective hangs become diagnostics.
+
+    Backend dispatch, stats enabling and tracer ownership live in
+    :class:`repro.runtime.ExecutionContext`; this driver is a thin shim
+    binding :func:`prna_rank` into ``context.launch``.
     """
-    if n_ranks < 1:
-        raise SimulationError(f"n_ranks must be >= 1, got {n_ranks}")
-    if tracer is not None and backend == "process":
-        raise SimulationError(
-            "tracing requires the 'thread' or 'self' backend; process ranks "
-            "cannot record into a shared in-memory tracer"
-        )
+    context = ExecutionContext(tracer=tracer, collect_stats=collect_stats)
 
     def rank_main(comm: Communicator) -> PRNAResult:
-        if collect_stats:
-            comm.enable_stats()
         return prna_rank(
             comm, s1, s2,
             partitioner=partitioner, engine=engine, sync_mode=sync_mode,
@@ -410,29 +399,9 @@ def prna(
             sanitize=sanitize, sanitize_timeout=sanitize_timeout,
         )
 
-    if backend == "self":
-        if n_ranks != 1:
-            raise SimulationError("backend 'self' supports exactly one rank")
-        clock = None
-        if cost_model is not None:
-            from repro.mpi.virtualtime import VirtualClock
-
-            clock = VirtualClock()
-        return rank_main(SelfCommunicator(clock, cost_model))
-    if backend == "thread":
-        results = run_threaded(
-            rank_main, n_ranks,
-            cost_model=cost_model, with_clocks=cost_model is not None,
-        )
-    elif backend == "process":
-        results = run_multiprocess(
-            rank_main, n_ranks,
-            cost_model=cost_model, with_clocks=cost_model is not None,
-        )
-    else:
-        raise ValueError(
-            f"unknown backend {backend!r}; one of 'thread', 'process', 'self'"
-        )
+    results = context.launch(
+        rank_main, n_ranks=n_ranks, backend=backend, cost_model=cost_model
+    )
     if cost_model is not None:
         result, simulated = results[0]
         result.simulated_time = simulated

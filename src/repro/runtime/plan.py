@@ -1,0 +1,504 @@
+"""Layer 1 of the solver stack: plans and the planner.
+
+A :class:`Plan` is a fully resolved, explainable execution decision:
+which algorithm, slice engine, backend, world size, partition strategy and
+shared-memory/sanitizer settings a solve should run with.  A
+:class:`Planner` produces plans from two structures (or a query + target
+collection) plus :class:`ResourceHints`, using the calibrated work model
+(:mod:`repro.perf.model` — replaceable with a host fit from
+:func:`repro.perf.calibrate.calibrate_work_model`) and the communication
+cost model (:mod:`repro.mpi.costmodel`).
+
+The central decision is the paper's Figure 8 tension made automatic:
+below a modeled work threshold the per-row synchronization tax of PRNA
+cannot pay for itself and plain SRNA2 wins; above it the planner models
+candidate world sizes with the cost model and picks the fastest.  Dynamic
+manager-worker scheduling is selected only when the caller declares the
+per-task costs unpredictable (``ResourceHints(predictable_costs=False)``)
+— for this workload the costs are an outer product of known arc weights,
+which is exactly why the paper's static greedy partition wins (§II).
+
+Every decision appends a human-readable rationale line; ``plan.explain()``
+renders them and :meth:`Plan.to_dict` serializes the whole plan into
+:mod:`repro.obs` run records so any measurement can be traced back to the
+configuration that produced it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping
+
+from repro.mpi.costmodel import ClusterSpec, CostModel
+from repro.perf.model import WorkModel
+from repro.runtime.registry import (
+    AUTO,
+    BATCH_ALGORITHMS,
+    PARALLEL_ALGORITHMS,
+    engine_applies,
+    validate_choice,
+)
+from repro.structure.arcs import Structure
+
+__all__ = [
+    "PARALLEL_THRESHOLD_SECONDS",
+    "Plan",
+    "Planner",
+    "ResourceHints",
+    "local_cluster",
+]
+
+#: Modeled sequential seconds below which parallel execution cannot
+#: amortize its per-row synchronization (the Figure 8 small-problem
+#: regime) and the planner stays with plain SRNA2.
+PARALLEL_THRESHOLD_SECONDS = 0.5
+
+
+def local_cluster(cores: int) -> ClusterSpec:
+    """Cost-model spec for *this* machine (one node, shared memory).
+
+    The default :data:`~repro.mpi.costmodel.DEFAULT_CLUSTER` is calibrated
+    to the paper's Fundy cluster, whose per-collective overhead (10 ms)
+    would veto intra-node parallelism that is in fact profitable; local
+    backends synchronize through memory, so latency terms drop by orders
+    of magnitude while the memory-contention term stays.
+    """
+    return ClusterSpec(
+        cores_per_node=max(cores, 1),
+        n_nodes=1,
+        alpha=2.0e-6,
+        beta=2.0e-10,
+        sync_overhead=2.0e-5,
+        contention=0.05,
+    )
+
+
+@dataclass(frozen=True)
+class ResourceHints:
+    """What the planner may assume about the machine and the workload.
+
+    Parameters
+    ----------
+    max_ranks:
+        Upper bound on the world size (default: ``os.cpu_count()``).
+    backend:
+        ``"auto"`` (default) or a concrete backend name to pin.
+    memory_bytes:
+        Optional memory budget; the memo footprint estimate is checked
+        against it and recorded in the rationale.
+    predictable_costs:
+        ``True`` (default) for this recurrence — per-slice costs are a
+        known outer product, so static greedy partitioning wins.  ``False``
+        declares heterogeneous/unknown task costs and switches ``auto`` to
+        the dynamic manager-worker scheme.
+    trace:
+        The run will carry an in-memory tracer; rules out the process
+        backend (its ranks cannot share one).
+    work_model:
+        Calibration data — e.g. the host fit from
+        :func:`repro.perf.calibrate.calibrate_work_model`.  Default: the
+        paper-calibrated :meth:`WorkModel.default`.
+    cluster:
+        Cost-model spec; default :func:`local_cluster` over *max_ranks*.
+    """
+
+    max_ranks: int | None = None
+    backend: str = AUTO
+    memory_bytes: int | None = None
+    predictable_costs: bool = True
+    trace: bool = False
+    work_model: WorkModel | None = None
+    cluster: ClusterSpec | None = None
+
+    def resolved_max_ranks(self) -> int:
+        """The rank budget: ``max_ranks`` if set, else the CPU count."""
+        if self.max_ranks is not None:
+            return max(int(self.max_ranks), 1)
+        return max(os.cpu_count() or 1, 1)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A fully resolved execution decision (see module docstring)."""
+
+    algorithm: str
+    engine: str | None
+    backend: str
+    n_ranks: int
+    partitioner: str = "greedy"
+    sync_mode: str = "row"
+    shared_memory: bool | None = None
+    sanitize: bool = False
+    checkpoint_path: str | None = None
+    workload: str = "pair"  # "pair" (one comparison) or "search" (batch)
+    estimated_sequential_seconds: float = 0.0
+    estimated_seconds: float = 0.0
+    rationale: tuple[str, ...] = field(default=(), repr=False)
+
+    def explain(self) -> str:
+        """Human-readable plan summary plus the planner's rationale."""
+        engine = self.engine if self.engine is not None else "n/a"
+        header = (
+            f"plan[{self.workload}]: algorithm={self.algorithm} "
+            f"engine={engine} backend={self.backend} ranks={self.n_ranks} "
+            f"partitioner={self.partitioner} sync={self.sync_mode}"
+        )
+        lines = [header]
+        lines.extend(f"  - {reason}" for reason in self.rationale)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form, embedded in every run record."""
+        payload = asdict(self)
+        payload["rationale"] = list(self.rationale)
+        payload["explain"] = self.explain()
+        return payload
+
+
+class Planner:
+    """Layer 1: resolve ``auto`` choices into an explainable :class:`Plan`."""
+
+    def __init__(
+        self,
+        hints: ResourceHints | None = None,
+        *,
+        threshold_seconds: float = PARALLEL_THRESHOLD_SECONDS,
+    ):
+        self.hints = hints or ResourceHints()
+        self.threshold_seconds = float(threshold_seconds)
+
+    # ------------------------------------------------------------------
+    def _work_model(self) -> WorkModel:
+        return self.hints.work_model or WorkModel.default()
+
+    def _cost_model(self, max_ranks: int) -> CostModel:
+        cluster = self.hints.cluster or local_cluster(max_ranks)
+        return CostModel(cluster)
+
+    def _parallel_seconds(
+        self, s1: Structure, s2: Structure, n_ranks: int, cost: CostModel
+    ) -> float:
+        """Modeled PRNA wall time at *n_ranks* (perfect static balance)."""
+        wm = self._work_model()
+        stage_one = wm.stage_one_seconds(s1, s2)
+        contention = max(
+            cost.cluster.contention_factor(rank, n_ranks)
+            for rank in range(n_ranks)
+        )
+        compute = stage_one / n_ranks * contention
+        row_bytes = max(s2.length, 1) * 8
+        comm = s1.n_arcs * cost.allreduce(n_ranks, row_bytes)
+        return (
+            wm.preprocessing_seconds(s1, s2)
+            + compute
+            + comm
+            + wm.parent_slice_seconds(s1, s2)
+        )
+
+    @staticmethod
+    def _candidate_ranks(max_ranks: int) -> list[int]:
+        ranks, p = [], 2
+        while p <= max_ranks:
+            ranks.append(p)
+            p *= 2
+        if max_ranks >= 2 and max_ranks not in ranks:
+            ranks.append(max_ranks)
+        return ranks
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        s1: Structure,
+        s2: Structure,
+        *,
+        algorithm: str = AUTO,
+        engine: str = AUTO,
+        backend: str | None = None,
+        n_ranks: int | None = None,
+        partitioner: str = "greedy",
+        sync_mode: str = "row",
+        shared_memory: bool | None = None,
+        sanitize: bool = False,
+        checkpoint_path: str | None = None,
+        with_backtrace: bool = False,
+    ) -> Plan:
+        """Resolve a plan for one structure comparison."""
+        algorithm = validate_choice("algorithm", algorithm, allow_auto=True)
+        engine = validate_choice("engine", engine, allow_auto=True)
+        partitioner = validate_choice("partitioner", partitioner)
+        sync_mode = validate_choice("sync_mode", sync_mode)
+        hinted_backend = backend if backend is not None else self.hints.backend
+        hinted_backend = validate_choice(
+            "backend", hinted_backend, allow_auto=True
+        )
+
+        hints = self.hints
+        max_ranks = hints.resolved_max_ranks()
+        wm = self._work_model()
+        cost = self._cost_model(max_ranks)
+        sequential = wm.total_sequential_seconds(s1, s2)
+        rationale: list[str] = [
+            f"modeled sequential SRNA2 time {sequential:.3g} s "
+            f"({wm.seconds_per_cell:.3g} s/cell"
+            + (", caller calibration" if hints.work_model is not None
+               else ", paper calibration")
+            + ")",
+        ]
+
+        chosen_ranks = n_ranks
+        estimated = sequential
+        if algorithm == AUTO and checkpoint_path is not None:
+            algorithm = "srna2"
+            rationale.append(
+                "checkpointing requested -> srna2 (the stage-one checkpoint "
+                "store is defined over its arc-major tabulation order)"
+            )
+            chosen_ranks = 1
+        if algorithm == AUTO:
+            algorithm, chosen_ranks, estimated = self._choose_algorithm(
+                s1, s2, sequential, max_ranks, cost, n_ranks,
+                with_backtrace, rationale,
+            )
+        else:
+            rationale.append(f"algorithm {algorithm!r} requested by caller")
+        if algorithm in PARALLEL_ALGORITHMS:
+            if chosen_ranks is None:
+                chosen_ranks, estimated = self._choose_ranks(
+                    s1, s2, max_ranks, cost, rationale
+                )
+        else:
+            chosen_ranks = 1
+
+        engine = self._choose_engine(algorithm, engine, rationale)
+        resolved_backend = self._choose_backend(
+            algorithm, hinted_backend, chosen_ranks, rationale
+        )
+        self._note_memory(s1, s2, chosen_ranks, resolved_backend, rationale)
+        if sanitize:
+            rationale.append(
+                "runtime SPMD sanitizer requested (bit-identical results, "
+                "overhead reported in CommStats)"
+            )
+        if checkpoint_path is not None:
+            rationale.append(f"stage-one checkpoints at {checkpoint_path!r}")
+
+        return Plan(
+            algorithm=algorithm,
+            engine=engine,
+            backend=resolved_backend,
+            n_ranks=chosen_ranks,
+            partitioner=partitioner,
+            sync_mode=sync_mode,
+            shared_memory=shared_memory,
+            sanitize=sanitize,
+            checkpoint_path=checkpoint_path,
+            workload="pair",
+            estimated_sequential_seconds=sequential,
+            estimated_seconds=estimated,
+            rationale=tuple(rationale),
+        )
+
+    # ------------------------------------------------------------------
+    def _choose_algorithm(
+        self,
+        s1: Structure,
+        s2: Structure,
+        sequential: float,
+        max_ranks: int,
+        cost: CostModel,
+        n_ranks: int | None,
+        with_backtrace: bool,
+        rationale: list[str],
+    ) -> tuple[str, int | None, float]:
+        if with_backtrace:
+            rationale.append(
+                "backtrace requested -> srna2 (keeps the memo table the "
+                "backtracer re-tabulates against)"
+            )
+            return "srna2", 1, sequential
+        if sequential < self.threshold_seconds:
+            rationale.append(
+                f"below the {self.threshold_seconds:g} s parallel threshold "
+                "-> plain srna2 (per-row synchronization cannot pay for "
+                "itself; Figure 8 small-problem regime)"
+            )
+            return "srna2", 1, sequential
+        if max_ranks < 2:
+            rationale.append(
+                "work exceeds the parallel threshold but only one rank is "
+                "available -> srna2"
+            )
+            return "srna2", 1, sequential
+        if not self.hints.predictable_costs:
+            rationale.append(
+                "per-task costs declared unpredictable -> dynamic "
+                "manager-worker scheduling (static balance needs a cost "
+                "model; HiCOMB 2009 regime)"
+            )
+            return "managerworker", n_ranks, sequential
+        ranks, estimated = self._choose_ranks(s1, s2, max_ranks, cost,
+                                              rationale, requested=n_ranks)
+        rationale.append(
+            f"exceeds the {self.threshold_seconds:g} s threshold -> prna "
+            "(static greedy column partition, one Allreduce per memo row)"
+        )
+        return "prna", ranks, estimated
+
+    def _choose_ranks(
+        self,
+        s1: Structure,
+        s2: Structure,
+        max_ranks: int,
+        cost: CostModel,
+        rationale: list[str],
+        requested: int | None = None,
+    ) -> tuple[int, float]:
+        if requested is not None:
+            estimate = self._parallel_seconds(s1, s2, requested, cost)
+            rationale.append(
+                f"world size {requested} requested by caller "
+                f"(modeled {estimate:.3g} s)"
+            )
+            return requested, estimate
+        best_ranks, best_seconds = 1, self._work_model(
+        ).total_sequential_seconds(s1, s2)
+        for ranks in self._candidate_ranks(max_ranks):
+            seconds = self._parallel_seconds(s1, s2, ranks, cost)
+            if seconds < best_seconds:
+                best_ranks, best_seconds = ranks, seconds
+        sequential = self._work_model().total_sequential_seconds(s1, s2)
+        speedup = sequential / best_seconds if best_seconds > 0 else 1.0
+        rationale.append(
+            f"modeled best world size P={best_ranks} of <= {max_ranks}: "
+            f"{best_seconds:.3g} s ({speedup:.1f}x modeled speedup)"
+        )
+        return best_ranks, best_seconds
+
+    def _choose_engine(
+        self, algorithm: str, engine: str, rationale: list[str]
+    ) -> str | None:
+        if not engine_applies(algorithm):
+            if engine != AUTO:
+                rationale.append(
+                    f"engine {engine!r} ignored: {algorithm!r} does not "
+                    "tabulate through a slice engine"
+                )
+            return None
+        if engine == AUTO:
+            engine = "vectorized" if algorithm == "managerworker" else "batched"
+            why = (
+                "per-slice tasks" if engine == "vectorized"
+                else "whole-row batches per outer arc"
+            )
+            rationale.append(f"engine auto -> {engine!r} ({why})")
+        return engine
+
+    def _choose_backend(
+        self,
+        algorithm: str,
+        backend: str,
+        n_ranks: int,
+        rationale: list[str],
+    ) -> str:
+        if algorithm not in PARALLEL_ALGORITHMS:
+            return "self"
+        if backend != AUTO:
+            rationale.append(f"backend {backend!r} pinned by caller")
+            return backend
+        if n_ranks == 1:
+            return "self"
+        if algorithm == "managerworker":
+            rationale.append(
+                "backend auto -> 'thread' (the manager polls per-worker "
+                "point-to-point queues, an in-process protocol)"
+            )
+            return "thread"
+        if self.hints.trace:
+            rationale.append(
+                "backend auto -> 'thread' (tracing requires ranks sharing "
+                "an in-memory tracer)"
+            )
+            return "thread"
+        if os.name == "posix":
+            rationale.append(
+                "backend auto -> 'process' (true parallelism; zero-copy "
+                "shared-memory row reductions)"
+            )
+            return "process"
+        rationale.append("backend auto -> 'thread' (no POSIX fork here)")
+        return "thread"
+
+    def _note_memory(
+        self,
+        s1: Structure,
+        s2: Structure,
+        n_ranks: int,
+        backend: str,
+        rationale: list[str],
+    ) -> None:
+        replicas = n_ranks if backend != "self" else 1
+        footprint = max(s1.length, 1) * max(s2.length, 1) * 8 * replicas
+        note = (
+            f"memo footprint ~{footprint / 1e6:.2g} MB "
+            f"({replicas} replica(s) of int64 M)"
+        )
+        budget = self.hints.memory_bytes
+        if budget is not None and footprint > budget:
+            note += f" EXCEEDS the {budget / 1e6:.2g} MB budget"
+        rationale.append(note)
+
+    # ------------------------------------------------------------------
+    def plan_batch(
+        self,
+        query: Structure,
+        targets: Mapping[str, Structure],
+        *,
+        algorithm: str = AUTO,
+        engine: str = AUTO,
+        n_workers: int = 1,
+    ) -> Plan:
+        """Resolve a plan for a query-vs-collection database search.
+
+        Pairs are independent, so the outer loop parallelizes across
+        worker processes and each per-pair run is a sequential algorithm
+        (:data:`~repro.runtime.registry.BATCH_ALGORITHMS`).
+        """
+        algorithm = validate_choice(
+            "batch algorithm", algorithm, allow_auto=True,
+            choices=BATCH_ALGORITHMS,
+        )
+        engine = validate_choice("engine", engine, allow_auto=True)
+        wm = self._work_model()
+        total = sum(
+            wm.total_sequential_seconds(query, target)
+            for target in targets.values()
+        )
+        rationale = [
+            f"{len(targets)} independent pairs, modeled total "
+            f"{total:.3g} s — parallelism goes *across* pairs",
+        ]
+        if algorithm == AUTO:
+            algorithm = "srna2"
+            rationale.append(
+                "algorithm auto -> 'srna2' (fastest sequential per-pair run)"
+            )
+        else:
+            rationale.append(f"algorithm {algorithm!r} requested by caller")
+        engine = self._choose_engine(algorithm, engine, rationale)
+        workers = max(int(n_workers), 1)
+        if workers > 1:
+            rationale.append(
+                f"{workers} worker processes (fork pool; near-linear for "
+                "non-trivial targets)"
+            )
+        return Plan(
+            algorithm=algorithm,
+            engine=engine,
+            backend="process" if workers > 1 else "self",
+            n_ranks=workers,
+            workload="search",
+            estimated_sequential_seconds=total,
+            estimated_seconds=total / workers,
+            rationale=tuple(rationale),
+        )

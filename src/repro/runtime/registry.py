@@ -1,0 +1,122 @@
+"""The single registry of solver-stack names.
+
+Algorithm, engine, backend, partitioner and sync-mode name lists used to be
+duplicated across ``core/api.py``, ``core/slices.py``, ``parallel/prna.py``
+and the CLI's ``choices=`` lists; they live here once, next to the single
+validation point every layer shares.
+
+:func:`validate_choice` is that validation point: it accepts the sentinel
+``"auto"`` where the caller allows it, and turns a typo into a
+``ValueError`` carrying a did-you-mean suggestion (``"unknown algorithm
+'snra2' ...; did you mean 'srna2'?"``) rather than a bare KeyError three
+layers down.
+
+The *implementations* stay where they belong — engine callables in
+:data:`repro.core.slices.ENGINES`, partitioner callables in
+:data:`repro.scheduling.partition.PARTITIONERS` — this module only owns
+the names and their classification.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Sequence
+
+from repro.core.slices import BATCH_ENGINES, ENGINES
+from repro.scheduling.partition import PARTITIONERS
+
+__all__ = [
+    "AUTO",
+    "SEQUENTIAL_ALGORITHMS",
+    "PARALLEL_ALGORITHMS",
+    "ALGORITHMS",
+    "BATCH_ALGORITHMS",
+    "ENGINE_NAMES",
+    "BATCH_ENGINE_NAMES",
+    "BACKENDS",
+    "PARTITIONER_NAMES",
+    "SYNC_MODES",
+    "engine_applies",
+    "validate_choice",
+]
+
+#: Sentinel accepted wherever the planner may choose for the caller.
+AUTO = "auto"
+
+#: The paper's sequential algorithms and their baselines — all produce
+#: identical scores (the equivalence tests lean on this heavily).
+SEQUENTIAL_ALGORITHMS = ("srna2", "srna1", "topdown", "dense")
+
+#: The parallel algorithms: the paper's static-partition PRNA and the
+#: HiCOMB-style dynamic manager-worker contrast.
+PARALLEL_ALGORITHMS = ("prna", "managerworker")
+
+#: Every algorithm the solver facade can dispatch.
+ALGORITHMS = SEQUENTIAL_ALGORITHMS + PARALLEL_ALGORITHMS
+
+#: Algorithms usable for the per-pair scoring of a database search
+#: (``solve_batch`` parallelizes *across* pairs, so the per-pair run is
+#: sequential by construction).
+BATCH_ALGORITHMS = SEQUENTIAL_ALGORITHMS
+
+#: Slice engine names, in the order of the implementation registry.
+ENGINE_NAMES = tuple(sorted(ENGINES))
+
+#: Engines that can advance a whole batch of child slices at once.
+BATCH_ENGINE_NAMES = tuple(sorted(BATCH_ENGINES))
+
+#: Execution backends for the SPMD algorithms.
+BACKENDS = ("self", "thread", "process")
+
+#: Column partitioners (static load balancing strategies).
+PARTITIONER_NAMES = tuple(sorted(PARTITIONERS))
+
+#: PRNA synchronization granularities (``"row"`` is the paper's).
+SYNC_MODES = ("row", "pair", "deferred")
+
+#: Algorithms that take a slice engine at all (``srna1`` recurses through
+#: its own memo probes; ``topdown``/``dense`` are cell-level baselines).
+_ENGINE_ALGORITHMS = frozenset({"srna2", "prna", "managerworker"})
+
+_CHOICES: dict[str, tuple[str, ...]] = {
+    "algorithm": ALGORITHMS,
+    "batch algorithm": BATCH_ALGORITHMS,
+    "engine": ENGINE_NAMES,
+    "backend": BACKENDS,
+    "partitioner": PARTITIONER_NAMES,
+    "sync_mode": SYNC_MODES,
+}
+
+
+def engine_applies(algorithm: str) -> bool:
+    """Whether *algorithm* tabulates through a selectable slice engine."""
+    return algorithm in _ENGINE_ALGORITHMS
+
+
+def _suggest(value: str, choices: Sequence[str]) -> str:
+    matches = difflib.get_close_matches(value, choices, n=1, cutoff=0.5)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+def validate_choice(
+    kind: str,
+    value: str,
+    *,
+    allow_auto: bool = False,
+    choices: Sequence[str] | None = None,
+) -> str:
+    """Validate *value* against the registry's list for *kind*.
+
+    Returns the value unchanged when valid (including ``"auto"`` when
+    *allow_auto*); raises ``ValueError`` with the full choice list and a
+    did-you-mean suggestion otherwise.  *choices* overrides the registry
+    list for callers validating a restricted subset.
+    """
+    options = tuple(choices) if choices is not None else _CHOICES[kind]
+    if value in options or (allow_auto and value == AUTO):
+        return value
+    shown = options + ((AUTO,) if allow_auto else ())
+    raise ValueError(
+        f"unknown {kind} {value!r}; choose from {shown}"
+        f"{_suggest(value, shown)}"
+    )

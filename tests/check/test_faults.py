@@ -92,6 +92,8 @@ class TestMismatchedAllreduceDtype:
 
 class TestOutOfPartitionWrite:
     def test_static_detection(self):
+        # Substrate path: keeps the snippet out of ARCH001's scope so the
+        # fault stays a pure SPMD003 case.
         findings = analyze_source(
             textwrap.dedent(
                 """
@@ -99,7 +101,8 @@ class TestOutOfPartitionWrite:
                     memo = DenseMemoTable.wrap(comm.allocate_shared((8, 8)))
                     memo.values[1, j] = 5
                 """
-            )
+            ),
+            path="repro/mpi/snippet.py",
         )
         assert [f.rule for f in findings] == ["SPMD003"]
 

@@ -11,8 +11,14 @@ from repro.check import analyze_source, run_check
 from repro.check.findings import RULES, Finding, is_suppressed
 
 
-def check(source: str):
-    return analyze_source(textwrap.dedent(source), path="snippet.py")
+def check(source: str, path: str = "snippet.py"):
+    return analyze_source(textwrap.dedent(source), path=path)
+
+
+def check_substrate(source: str):
+    """Analyze as substrate code (exempt from ARCH001), so tests can
+    exercise the SPMD rules on raw communicator constructions."""
+    return check(source, path="repro/mpi/snippet.py")
 
 
 def rules_of(findings) -> list[str]:
@@ -185,7 +191,7 @@ class TestSPMD002:
 
 class TestSPMD003:
     def test_unguarded_write_to_shared(self):
-        findings = check(
+        findings = check_substrate(
             """
             def fn(comm, j):
                 table = comm.allocate_shared((4, 4))
@@ -195,7 +201,7 @@ class TestSPMD003:
         assert rules_of(findings) == ["SPMD003"]
 
     def test_owned_guarded_write_clean(self):
-        findings = check(
+        findings = check_substrate(
             """
             def fn(comm, partition):
                 table = comm.allocate_shared((4, 4))
@@ -207,7 +213,7 @@ class TestSPMD003:
         assert findings == []
 
     def test_membership_guard_clean(self):
-        findings = check(
+        findings = check_substrate(
             """
             def fn(comm, owned_set, b):
                 table = comm.allocate_shared((4, 4))
@@ -218,7 +224,7 @@ class TestSPMD003:
         assert findings == []
 
     def test_wrap_taints_and_store_flagged(self):
-        findings = check(
+        findings = check_substrate(
             """
             def fn(comm):
                 memo = DenseMemoTable.wrap(comm.allocate_shared((4, 4)))
@@ -285,6 +291,81 @@ class TestSPMD004:
         assert findings == []
 
 
+class TestARCH001:
+    def test_tracer_construction_flagged(self):
+        findings = check(
+            """
+            from repro.obs.tracer import Tracer
+            def fn():
+                return Tracer()
+            """
+        )
+        assert rules_of(findings) == ["ARCH001"]
+        assert "Tracer" in findings[0].message
+
+    def test_launcher_and_communicator_flagged(self):
+        findings = check(
+            """
+            def fn(fn2, clock, model):
+                results = run_threaded(fn2, 4)
+                comm = SelfCommunicator(clock, model)
+                return results, comm
+            """
+        )
+        assert rules_of(findings) == ["ARCH001", "ARCH001"]
+
+    def test_shm_memo_construction_flagged(self):
+        findings = check(
+            """
+            def fn(comm):
+                return DenseMemoTable.wrap(comm.allocate_shared((4, 4)))
+            """
+        )
+        assert sorted(set(rules_of(findings))) == ["ARCH001"]
+
+    def test_substrate_modules_exempt(self):
+        source = """
+            def fn(fn2):
+                return run_threaded(fn2, 4)
+        """
+        for path in (
+            "src/repro/mpi/inprocess.py",
+            "src/repro/obs/tracer.py",
+            "src/repro/check/sanitizer.py",
+        ):
+            assert check(source, path=path) == []
+
+    def test_context_module_not_exempt(self):
+        findings = check(
+            """
+            def fn():
+                return Tracer()
+            """,
+            path="src/repro/runtime/context.py",
+        )
+        assert rules_of(findings) == ["ARCH001"]
+
+    def test_context_usage_is_clean(self):
+        findings = check(
+            """
+            from repro.runtime.context import ExecutionContext
+            def fn(rank_main):
+                ctx = ExecutionContext(trace=True)
+                return ctx.launch(rank_main, n_ranks=4, backend="thread")
+            """
+        )
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = check(
+            """
+            def fn():
+                return Tracer()  # noqa: ARCH001
+            """
+        )
+        assert findings == []
+
+
 class TestSuppression:
     def test_bare_noqa(self):
         assert is_suppressed("SPMD001", "comm.barrier()  # noqa")
@@ -313,7 +394,13 @@ class TestSuppression:
 
 class TestDriver:
     def test_rule_catalog_complete(self):
-        assert set(RULES) == {"SPMD001", "SPMD002", "SPMD003", "SPMD004"}
+        assert set(RULES) == {
+            "SPMD001",
+            "SPMD002",
+            "SPMD003",
+            "SPMD004",
+            "ARCH001",
+        }
 
     def test_finding_render_is_clickable(self):
         finding = Finding("SPMD001", "a.py", 3, 4, "boom")

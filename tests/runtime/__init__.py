@@ -1,0 +1,1 @@
+"""Tests for the repro.runtime planner/context/solver stack."""

@@ -1,0 +1,156 @@
+"""Unit tests for the planner: auto resolution, rationale, serialization."""
+
+import dataclasses
+
+import pytest
+
+from repro.runtime.plan import (
+    PARALLEL_THRESHOLD_SECONDS,
+    Plan,
+    Planner,
+    ResourceHints,
+    local_cluster,
+)
+from repro.structure.generators import contrived_worst_case
+
+
+@pytest.fixture
+def small():
+    return contrived_worst_case(40)
+
+
+@pytest.fixture
+def large():
+    # Acceptance criterion: the contrived worst case at n >= 400 must
+    # route to batched PRNA under auto.
+    return contrived_worst_case(400)
+
+
+@pytest.fixture
+def planner():
+    return Planner(ResourceHints(max_ranks=8))
+
+
+class TestAutoAlgorithm:
+    def test_small_input_stays_sequential(self, planner, small):
+        plan = planner.plan(small, small)
+        assert plan.algorithm == "srna2"
+        assert plan.engine == "batched"
+        assert plan.n_ranks == 1
+        assert plan.backend == "self"
+        assert plan.estimated_sequential_seconds < PARALLEL_THRESHOLD_SECONDS
+
+    def test_worst_case_escalates_to_batched_prna(self, planner, large):
+        plan = planner.plan(large, large)
+        assert plan.algorithm == "prna"
+        assert plan.engine == "batched"
+        assert plan.n_ranks >= 2
+        assert plan.estimated_seconds < plan.estimated_sequential_seconds
+
+    def test_single_rank_budget_stays_sequential(self, large):
+        plan = Planner(ResourceHints(max_ranks=1)).plan(large, large)
+        assert plan.algorithm == "srna2"
+        assert plan.n_ranks == 1
+
+    def test_unpredictable_costs_choose_managerworker(self, large):
+        hints = ResourceHints(max_ranks=8, predictable_costs=False)
+        plan = Planner(hints).plan(large, large)
+        assert plan.algorithm == "managerworker"
+        assert plan.engine == "vectorized"
+        assert plan.backend == "thread"
+
+    def test_backtrace_pins_srna2(self, planner, large):
+        plan = planner.plan(large, large, with_backtrace=True)
+        assert plan.algorithm == "srna2"
+        assert plan.n_ranks == 1
+
+    def test_checkpoint_pins_srna2(self, planner, large, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        plan = planner.plan(large, large, checkpoint_path=path)
+        assert plan.algorithm == "srna2"
+        assert plan.checkpoint_path == path
+        assert any(path in reason for reason in plan.rationale)
+
+
+class TestExplicitChoices:
+    def test_explicit_algorithm_honored(self, planner, small):
+        plan = planner.plan(small, small, algorithm="topdown")
+        assert plan.algorithm == "topdown"
+        assert plan.engine is None  # topdown has no slice engine
+        assert any("requested by caller" in r for r in plan.rationale)
+
+    def test_explicit_prna_with_world_size(self, planner, small):
+        plan = planner.plan(
+            small, small, algorithm="prna", n_ranks=3, backend="thread"
+        )
+        assert plan.algorithm == "prna"
+        assert plan.n_ranks == 3
+        assert plan.backend == "thread"
+
+    def test_typo_raises_with_suggestion(self, planner, small):
+        with pytest.raises(ValueError, match="did you mean 'vectorized'"):
+            planner.plan(small, small, engine="vectorised")
+
+    def test_trace_hint_rules_out_process_backend(self, large):
+        plan = Planner(ResourceHints(max_ranks=8, trace=True)).plan(
+            large, large
+        )
+        assert plan.algorithm == "prna"
+        assert plan.backend == "thread"
+
+
+class TestPlanObject:
+    def test_plan_is_frozen(self, planner, small):
+        plan = planner.plan(small, small)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            plan.algorithm = "dense"
+
+    def test_explain_renders_header_and_rationale(self, planner, large):
+        plan = planner.plan(large, large)
+        text = plan.explain()
+        lines = text.splitlines()
+        assert lines[0].startswith("plan[pair]: algorithm=prna ")
+        assert "ranks=" in lines[0]
+        assert len(lines) == 1 + len(plan.rationale)
+        assert all(line.startswith("  - ") for line in lines[1:])
+
+    def test_to_dict_is_json_ready(self, planner, small):
+        import json
+
+        plan = planner.plan(small, small)
+        payload = plan.to_dict()
+        assert payload["algorithm"] == "srna2"
+        assert payload["rationale"] == list(plan.rationale)
+        assert payload["explain"] == plan.explain()
+        json.dumps(payload)  # must not raise
+
+    def test_memory_budget_noted_when_exceeded(self, large):
+        hints = ResourceHints(max_ranks=8, memory_bytes=1024)
+        plan = Planner(hints).plan(large, large)
+        assert any("EXCEEDS" in reason for reason in plan.rationale)
+
+    def test_local_cluster_spec(self):
+        spec = local_cluster(4)
+        assert spec.n_nodes == 1
+        assert spec.cores_per_node == 4
+        assert local_cluster(0).cores_per_node == 1
+
+
+class TestPlanBatch:
+    def test_auto_picks_srna2_across_pairs(self, planner, small):
+        targets = {"a": small, "b": small}
+        plan = planner.plan_batch(small, targets, n_workers=1)
+        assert plan.algorithm == "srna2"
+        assert plan.workload == "search"
+        assert plan.backend == "self"
+        assert plan.n_ranks == 1
+
+    def test_workers_use_process_pool(self, planner, small):
+        plan = planner.plan_batch(small, {"a": small}, n_workers=4)
+        assert plan.backend == "process"
+        assert plan.n_ranks == 4
+        assert plan.estimated_seconds <= plan.estimated_sequential_seconds
+
+    def test_parallel_algorithm_rejected(self, planner, small):
+        with pytest.raises(ValueError, match="unknown batch algorithm"):
+            planner.plan_batch(small, {"a": small}, algorithm="prna")

@@ -114,6 +114,32 @@ class TestSearch:
         ) == 0
         assert "rank" in capsys.readouterr().out
 
+    def test_algorithm_and_engine_flags(self, tmp_path, capsys):
+        path = tmp_path / "t.vienna"
+        write_vienna(contrived_worst_case(20), path)
+        assert main(
+            [
+                "search", "(((...)))", str(path),
+                "--algorithm", "srna1", "--engine", "python",
+            ]
+        ) == 0
+        assert "rank" in capsys.readouterr().out
+
+    def test_trace_flag_writes_spans(self, tmp_path, capsys):
+        from repro.obs.tracer import load_chrome_trace
+
+        path = tmp_path / "t.vienna"
+        write_vienna(contrived_worst_case(20), path)
+        trace = tmp_path / "search.trace.json"
+        assert main(
+            ["search", "(((...)))", str(path), "--trace", str(trace)]
+        ) == 0
+        payload = load_chrome_trace(str(trace))
+        names = {
+            e["name"] for e in payload["traceEvents"] if e["ph"] == "X"
+        }
+        assert any(name.startswith("score:") for name in names)
+
 
 class TestSimulate:
     def test_default_worst_case(self, capsys):
@@ -147,6 +173,11 @@ class TestObservability:
         (record,) = load_run_records(str(metrics))
         assert record["kind"] == "compare"
         assert record["metrics"]["counters"]["slices_tabulated"] > 0
+        # Every compare record carries the serialized plan + rationale.
+        plan = record["parameters"]["plan"]
+        assert plan["algorithm"] == "srna2"
+        assert "plan[pair]" in plan["explain"]
+        assert plan["rationale"]
 
     def test_simulate_trace_and_report(self, tmp_path, capsys):
         trace = tmp_path / "sim.trace.json"
