@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint check-protocol examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -38,6 +38,14 @@ lint:
 	else echo "lint: mypy not installed, skipping (pip install -e '.[lint]')"; fi
 	PYTHONPATH=src $(PYTHON) -m repro.check src/repro
 
+# Interprocedural protocol verification: the rank-symbolic schedule
+# analysis must prove the shipped tree deadlock-free (exit 0), and the
+# cold/warm analyzer timing lands in BENCH_check.json so incremental-
+# cache regressions are visible (warm must be <10% of cold).
+check-protocol:
+	PYTHONPATH=src $(PYTHON) -m repro.check src/repro --protocol
+	$(PYTHON) benchmarks/bench_check.py
+
 # Runtime-sanitizer transparency check: sanitized 2-rank PRNA on the
 # process backend must be bit-identical to the plain run.
 sanitize-demo:
@@ -49,7 +57,7 @@ sanitize-demo:
 plan-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.demo
 
-verify: lint trace-demo bench-smoke sanitize-demo plan-demo
+verify: lint check-protocol trace-demo bench-smoke sanitize-demo plan-demo
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

@@ -1,0 +1,102 @@
+"""Analyzer wall-time benchmark: cold vs warm-cache protocol runs.
+
+Writes ``BENCH_check.json`` at the repository root (override with
+``--out``).  The headline numbers are the **cold** wall time of a full
+``repro.check --protocol`` pass over ``src/repro`` and the **warm** wall
+time of an immediate re-run against the content-hash cache on the
+unchanged tree.  The acceptance bar (and the regression this file makes
+visible) is ``warm < 0.10 * cold``: the warm path must serve the whole
+result — per-module and protocol findings — from the cache without
+parsing a single module.
+
+Run directly (``python benchmarks/bench_check.py``) or via
+``make check-protocol``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.check.cache import CheckCache  # noqa: E402
+from repro.check.static import analyze_project  # noqa: E402
+
+
+def _timed_run(paths: list[str], cache: CheckCache | None):
+    start = time.perf_counter()
+    findings, n_files = analyze_project(paths, protocol=True, cache=cache)
+    elapsed = time.perf_counter() - start
+    return elapsed, findings, n_files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=str(REPO_ROOT / "BENCH_check.json"),
+        help="output JSON path (default: BENCH_check.json at repo root)",
+    )
+    parser.add_argument(
+        "--paths", nargs="*", default=[str(REPO_ROOT / "src" / "repro")],
+        help="trees to analyze (default: src/repro)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = CheckCache(os.path.join(tmp, "check-cache.json"))
+        cold_s, findings, n_files = _timed_run(args.paths, cache)
+        warm_cache = CheckCache(cache.cache_path)  # re-read from disk
+        warm_s, warm_findings, _ = _timed_run(args.paths, warm_cache)
+
+    consistent = [f.as_dict() for f in findings] == [
+        f.as_dict() for f in warm_findings
+    ]
+    protocol_findings = [
+        f.as_dict()
+        for f in findings
+        if f.rule.startswith(("SPMD1", "SPMD2", "SCHED", "BASE"))
+    ]
+    payload = {
+        "benchmark": "repro.check --protocol analyzer wall time",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "checked_files": n_files,
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_over_cold": round(warm_s / cold_s, 4) if cold_s else None,
+        "warm_cache_ok": consistent,
+        "findings": len(findings),
+        "protocol_findings": protocol_findings,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"bench_check: cold {cold_s:.3f}s, warm {warm_s:.3f}s "
+        f"(ratio {payload['warm_over_cold']}), {n_files} files, "
+        f"{len(findings)} finding(s) -> {args.out}"
+    )
+    if not consistent:
+        print("bench_check: WARM CACHE RETURNED DIFFERENT FINDINGS",
+              file=sys.stderr)
+        return 1
+    if cold_s > 0 and warm_s >= 0.10 * cold_s:
+        print(
+            f"bench_check: warm run {warm_s:.3f}s is not <10% of cold "
+            f"{cold_s:.3f}s — incremental cache regression",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,7 +23,12 @@ import numpy as np
 from repro.core.recurrence import Subproblem, dependencies
 from repro.structure.arcs import Structure
 
-__all__ = ["dependency_graph", "slice_graph", "memo_dependency_matrix"]
+__all__ = [
+    "dependency_graph",
+    "slice_graph",
+    "memo_dependency_matrix",
+    "arc_dependency_pairs",
+]
 
 
 def _require_networkx():
@@ -133,3 +138,23 @@ def memo_dependency_matrix(s1: Structure, s2: Structure) -> np.ndarray:
         for inner_arc in range(lo, hi):
             matrix[a, inner_arc] += 1
     return matrix
+
+
+def arc_dependency_pairs(s1: Structure) -> list[tuple[int, int]]:
+    """``(reader, dependency)`` arc-index pairs of the memo recurrence.
+
+    ``(a, a')`` means tabulating the slice of arc ``a`` reads memo cells
+    written under arc ``a'`` (the ``d1``/``d2`` cases at matched arcs) —
+    the edge set behind :func:`memo_dependency_matrix`, in a form a
+    schedule-legality checker can iterate directly: a publication order
+    is legal iff it publishes ``a'`` strictly before ``a`` for every
+    pair.  Arcs are indexed in right-endpoint order, under which every
+    pair satisfies ``a' < a`` (the matrix is strictly lower-triangular),
+    so the identity order is always legal.
+    """
+    inner = s1.inner_ranges
+    pairs: list[tuple[int, int]] = []
+    for a in range(s1.n_arcs):
+        lo, hi = int(inner[a, 0]), int(inner[a, 1])
+        pairs.extend((a, inner_arc) for inner_arc in range(lo, hi))
+    return pairs

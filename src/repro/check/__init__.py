@@ -7,12 +7,20 @@ write its owned columns of the shm-backed memo between barriers.  Nothing
 in the algorithm itself checks any of this — a rank-conditional collective
 or an out-of-partition write silently deadlocks or corrupts ``M``.
 
-This package verifies the protocol in two complementary layers:
+This package verifies the protocol in three complementary layers:
 
-* **static** (:mod:`repro.check.static`, ``python -m repro.check`` or
-  ``repro-rna check``) — an AST linter flagging SPMD hazards with rule IDs
-  ``SPMD001``-``SPMD004``, suppression comments, JSON output, and a
-  nonzero exit code on findings (MPI-Checker-style collective matching);
+* **static, per-module** (:mod:`repro.check.static`,
+  ``python -m repro.check`` or ``repro-rna check``) — an AST linter
+  flagging SPMD hazards with rule IDs ``SPMD001``-``SPMD004``,
+  suppression comments, JSON/SARIF output, and a nonzero exit code on
+  findings (MPI-Checker-style collective matching);
+* **static, whole-program** (:mod:`repro.check.protocol`, ``--protocol``)
+  — a rank-symbolic interprocedural interpreter that extracts each
+  abstract rank's communication schedule and proves collective agreement
+  (``SPMD1xx``), cross-module tag matching (``SPMD2xx``), and executor
+  dependency-schedule legality against the recurrence's ``d1``/``d2``
+  structure (``SCHED0xx``), with content-hash incremental caching and a
+  baseline ratchet;
 * **dynamic** (:mod:`repro.check.sanitizer`) — a
   :class:`~repro.check.sanitizer.SanitizedCommunicator` that stamps every
   collective with a sequence number, op, dtype, shape, and call site and
@@ -27,7 +35,12 @@ protocol.
 
 from repro.check.findings import RULES, Finding
 from repro.check.sanitizer import SanitizedCommunicator, SanitizedMemoTable
-from repro.check.static import analyze_paths, analyze_source, run_check
+from repro.check.static import (
+    analyze_paths,
+    analyze_project,
+    analyze_source,
+    run_check,
+)
 
 __all__ = [
     "Finding",
@@ -35,6 +48,7 @@ __all__ = [
     "SanitizedCommunicator",
     "SanitizedMemoTable",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "run_check",
 ]

@@ -37,6 +37,47 @@ RULES: dict[str, str] = {
         "repro.runtime.context (route through ExecutionContext so plans, "
         "stats and sanitizers stay consistent)"
     ),
+    # -- protocol verifier (interprocedural, rank-symbolic) -------------
+    "SPMD101": (
+        "collective schedules diverge between feasible rank paths — some "
+        "rank reaches a collective its peers never issue and the world "
+        "deadlocks there (static counterpart of SAN101/SAN103)"
+    ),
+    "SPMD102": (
+        "aligned collective with rank-dependent metadata (reduce op or "
+        "root differs across ranks; static counterpart of SAN102)"
+    ),
+    "SPMD103": (
+        "collective inside a loop whose trip count is rank-dependent — "
+        "ranks issue different numbers of collectives and deadlock at "
+        "the first mismatch"
+    ),
+    "SPMD201": (
+        "send whose constant tag matches no receive anywhere in the "
+        "analyzed program (interprocedural, cross-module constants; "
+        "static counterpart of SAN104)"
+    ),
+    "SPMD202": (
+        "receive whose constant tag no send in the analyzed program "
+        "produces — this recv blocks forever (static SAN104)"
+    ),
+    "SCHED001": (
+        "executor schedule publishes a memo cell after an arc that reads "
+        "it — the d1/d2 dependency order is violated (runtime verdict "
+        "would be SAN202/diverged tables)"
+    ),
+    "SCHED002": (
+        "executor schedule claims soundness but publishes nothing "
+        "intra-stage (every cross-rank d1/d2 read sees a stale row)"
+    ),
+    "SCHED003": (
+        "executor schedule declaration inconsistent with the registry "
+        "(unknown executor, sync mode, or publication order)"
+    ),
+    "BASE001": (
+        "stale baseline entry: a grandfathered finding no longer occurs "
+        "— remove it from the baseline so the ratchet stays tight"
+    ),
 }
 
 #: ``# noqa`` / ``# noqa: SPMD001, SPMD003`` on the flagged line.

@@ -170,22 +170,16 @@ class _RankConditionalVisitor(ast.NodeVisitor):
 # SPMD002 — send tags without a matching receive
 # ----------------------------------------------------------------------
 def _constant_env(tree: ast.Module) -> dict[str, int]:
-    """Module- and class-level ``NAME = <int literal>`` bindings."""
+    """Module- and class-level integer constant bindings.
+
+    Delegates to the project indexer's scanner, which also folds
+    ``AugAssign`` updates and tuple unpacking — the patterns the original
+    folder silently widened to wildcard, suppressing real tag mismatches.
+    """
+    from repro.check.callgraph import _scan_constants
+
     env: dict[str, int] = {}
-
-    def scan(body: list[ast.stmt]) -> None:
-        for stmt in body:
-            if isinstance(stmt, ast.Assign) and isinstance(
-                stmt.value, ast.Constant
-            ):
-                if isinstance(stmt.value.value, int):
-                    for target in stmt.targets:
-                        if isinstance(target, ast.Name):
-                            env[target.id] = stmt.value.value
-            elif isinstance(stmt, ast.ClassDef):
-                scan(stmt.body)
-
-    scan(tree.body)
+    _scan_constants(tree.body, env)
     return env
 
 
@@ -219,8 +213,14 @@ def _resolve_tag(node: ast.expr | None, env: dict[str, int]):
     return ("expr", ast.unparse(node))
 
 
-def _check_tags(tree: ast.Module, path: str, findings: list[Finding]) -> None:
-    env = _constant_env(tree)
+def _check_tags(
+    tree: ast.Module,
+    path: str,
+    findings: list[Finding],
+    extra_constants: dict[str, int] | None = None,
+) -> None:
+    env = dict(extra_constants) if extra_constants else {}
+    env.update(_constant_env(tree))
     sends: list[tuple[ast.Call, tuple]] = []
     recv_keys: set[tuple] = set()
     wildcard_recv = False
@@ -263,15 +263,30 @@ def _expr_names(node: ast.AST) -> set[str]:
     return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
 
 
-def _has_shm_source(node: ast.AST) -> bool:
+def _has_shm_source(
+    node: ast.AST, factories: frozenset[str] | set[str] = frozenset()
+) -> bool:
+    """Whether *node* produces an shm-backed handle.
+
+    *factories* extends the lexical sources (``allocate_shared`` /
+    ``DenseMemoTable.wrap``) with project-level helper functions the call
+    graph proved to return shm handles, so a table obtained through
+    ``make_table(comm, ...)`` in another function is still tracked.
+    """
     for sub in ast.walk(node):
-        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+        if not isinstance(sub, ast.Call):
+            continue
+        if isinstance(sub.func, ast.Attribute):
             if sub.func.attr == "allocate_shared":
                 return True
             if sub.func.attr == "wrap" and "DenseMemoTable" in ast.unparse(
                 sub.func.value
             ):
                 return True
+            if sub.func.attr in factories:
+                return True
+        elif isinstance(sub.func, ast.Name) and sub.func.id in factories:
+            return True
     return False
 
 
@@ -288,9 +303,15 @@ def _has_owned_source(node: ast.AST) -> bool:
 class _ShmWriteChecker:
     """Forward may-taint pass over one function (or the module body)."""
 
-    def __init__(self, path: str, findings: list[Finding]):
+    def __init__(
+        self,
+        path: str,
+        findings: list[Finding],
+        factories: frozenset[str] = frozenset(),
+    ):
         self._path = path
         self._findings = findings
+        self._factories = factories
         self.shm: set[str] = set()
         self.owned: set[str] = set()
 
@@ -298,7 +319,9 @@ class _ShmWriteChecker:
         return bool(self.owned & _expr_names(node)) or _has_owned_source(node)
 
     def _shm_expr(self, node: ast.AST) -> bool:
-        return bool(self.shm & _expr_names(node)) or _has_shm_source(node)
+        return bool(self.shm & _expr_names(node)) or _has_shm_source(
+            node, self._factories
+        )
 
     def _taint_targets(self, targets: list[ast.expr], value: ast.expr) -> None:
         shm = self._shm_expr(value)
@@ -401,7 +424,8 @@ class _ShmWriteChecker:
             self.run(stmt.orelse)
             self.run(stmt.finalbody)
         elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            nested = _ShmWriteChecker(self._path, self._findings)
+            nested = _ShmWriteChecker(self._path, self._findings,
+                                      self._factories)
             nested.owned = {
                 arg.arg
                 for arg in stmt.args.args + stmt.args.kwonlyargs
@@ -424,9 +448,12 @@ class _ShmWriteChecker:
 
 
 def _check_shm_writes(
-    tree: ast.Module, path: str, findings: list[Finding]
+    tree: ast.Module,
+    path: str,
+    findings: list[Finding],
+    factories: frozenset[str] = frozenset(),
 ) -> None:
-    checker = _ShmWriteChecker(path, findings)
+    checker = _ShmWriteChecker(path, findings, factories)
     checker.run(tree.body)
 
 
@@ -614,12 +641,25 @@ def _check_architecture(
 
 
 # ----------------------------------------------------------------------
-def analyze_module(tree: ast.Module, path: str) -> list[Finding]:
-    """Run every static rule over one parsed module."""
+def analyze_module(
+    tree: ast.Module,
+    path: str,
+    *,
+    extra_constants: dict[str, int] | None = None,
+    shm_factories: frozenset[str] = frozenset(),
+) -> list[Finding]:
+    """Run every per-module static rule over one parsed module.
+
+    *extra_constants* widens SPMD002's tag folder with constants imported
+    from other analyzed modules; *shm_factories* widens SPMD003's taint
+    sources with helper functions the call graph proved to return shm
+    handles.  Both default to the module-local behaviour so single-file
+    analysis (tests, snippets) is unchanged.
+    """
     findings: list[Finding] = []
     _RankConditionalVisitor(findings, path).visit(tree)
-    _check_tags(tree, path, findings)
-    _check_shm_writes(tree, path, findings)
+    _check_tags(tree, path, findings, extra_constants)
+    _check_shm_writes(tree, path, findings, shm_factories)
     _check_dtype_smells(tree, path, findings)
     _check_architecture(tree, path, findings)
     findings.sort(key=lambda f: (f.line, f.col, f.rule))

@@ -2,9 +2,20 @@
 
 Used three ways, all sharing :func:`run_check`:
 
-* ``python -m repro.check [paths] [--json]``
+* ``python -m repro.check [paths] [--protocol] [--sarif out.sarif] ...``
 * the ``repro-check`` console script
 * the ``repro-rna check`` subcommand
+
+The per-module rules (SPMD001-004, ARCH001) always run.  ``--protocol``
+adds the interprocedural protocol verifier (:mod:`repro.check.protocol`:
+SPMD1xx collective agreement, SPMD2xx cross-module tag matching, SCHED0xx
+schedule legality).  ``--cache`` makes re-runs over an unchanged tree
+near-instant (content-hash keyed, :mod:`repro.check.cache`), ``--sarif``
+writes a SARIF 2.1.0 log for GitHub code scanning, and
+``--baseline``/``--update-baseline`` implement a ratchet: grandfathered
+findings are suppressed, *new* findings fail, and a baseline entry that
+no longer matches anything is itself a finding (BASE001) so the baseline
+only ever shrinks.
 
 Exit codes: 0 clean, 1 findings, 2 usage/parse error.
 """
@@ -12,6 +23,7 @@ Exit codes: 0 clean, 1 findings, 2 usage/parse error.
 from __future__ import annotations
 
 import ast
+import hashlib
 import json
 import os
 import sys
@@ -19,22 +31,79 @@ import sys
 from repro.check.findings import RULES, Finding, is_suppressed
 from repro.check.rules import analyze_module
 
-__all__ = ["analyze_source", "analyze_paths", "run_check", "main"]
+__all__ = [
+    "analyze_source",
+    "analyze_paths",
+    "analyze_project",
+    "baseline_fingerprint",
+    "run_check",
+    "main",
+]
+
+#: Longest statement extent (in lines) searched for a trailing ``# noqa``
+#: on a continuation line; larger statements fall back to the exact line.
+_NOQA_EXTENT_CAP = 8
 
 
+# ----------------------------------------------------------------------
+# noqa filtering (statement-extent aware)
+# ----------------------------------------------------------------------
+def _statement_extents(tree: ast.Module) -> list[tuple[int, int]]:
+    extents = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.end_lineno is not None:
+            extents.append((node.lineno, node.end_lineno))
+    return extents
+
+
+def _noqa_lines_for(
+    line: int, extents: list[tuple[int, int]]
+) -> tuple[int, int]:
+    """The line range to scan for a suppression covering *line*.
+
+    A multi-line call carries its ``# noqa`` wherever black put the
+    closing paren, so the smallest enclosing statement's full extent is
+    scanned (capped: an 800-line function body should not let a stray
+    noqa suppress everything inside it).
+    """
+    best: tuple[int, int] | None = None
+    for lo, hi in extents:
+        if lo <= line <= hi:
+            if best is None or (hi - lo) < (best[1] - best[0]):
+                best = (lo, hi)
+    if best is None or (best[1] - best[0]) >= _NOQA_EXTENT_CAP:
+        return (line, line)
+    return best
+
+
+def _filter_noqa(
+    findings: list[Finding], lines: list[str], tree: ast.Module
+) -> list[Finding]:
+    extents = _statement_extents(tree)
+    kept = []
+    for finding in findings:
+        lo, hi = _noqa_lines_for(finding.line, extents)
+        suppressed = any(
+            is_suppressed(finding.rule, lines[lineno - 1])
+            for lineno in range(lo, min(hi, len(lines)) + 1)
+            if lineno <= len(lines)
+        )
+        if not suppressed:
+            kept.append(finding)
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Single-module analysis (tests, snippets)
+# ----------------------------------------------------------------------
 def analyze_source(source: str, path: str = "<string>") -> list[Finding]:
-    """Run every rule over one module's source, honouring ``# noqa``.
+    """Run every per-module rule over one source, honouring ``# noqa``.
 
     Raises :class:`SyntaxError` if *source* does not parse.
     """
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
-    findings = []
-    for finding in analyze_module(tree, path):
-        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
-        if not is_suppressed(finding.rule, line):
-            findings.append(finding)
-    return findings
+    return _filter_noqa(analyze_module(tree, path), lines, tree)
 
 
 def _python_files(paths: list[str]) -> list[str]:
@@ -57,18 +126,187 @@ def _python_files(paths: list[str]) -> list[str]:
     return files
 
 
-def analyze_paths(paths: list[str]) -> tuple[list[Finding], int]:
-    """All findings under *paths* plus the number of files checked."""
-    findings: list[Finding] = []
+# ----------------------------------------------------------------------
+# Whole-tree analysis (project context, protocol pass, cache)
+# ----------------------------------------------------------------------
+def analyze_project(
+    paths: list[str],
+    *,
+    protocol: bool = False,
+    cache=None,
+) -> tuple[list[Finding], int]:
+    """All findings under *paths* with full project context.
+
+    Per-module rules run with cross-module constants (SPMD002) and
+    call-graph shm factories (SPMD003); *protocol* adds the
+    interprocedural SPMD1xx/SPMD2xx/SCHED0xx families.  *cache* is an
+    optional :class:`repro.check.cache.CheckCache`.
+    """
     files = _python_files(paths)
+    sources: dict[str, str] = {}
+    shas: dict[str, str] = {}
     for filename in files:
-        with open(filename, encoding="utf-8") as handle:
-            source = handle.read()
-        findings.extend(analyze_source(source, filename))
+        with open(filename, "rb") as handle:
+            data = handle.read()
+        shas[filename] = hashlib.sha256(data).hexdigest()
+        sources[filename] = data.decode("utf-8")
+
+    flags = "protocol" if protocol else ""
+    if cache is not None:
+        hit = cache.lookup_tree(shas, flags)
+        if hit is not None:
+            per_file, proto = hit
+            findings = per_file + proto
+            findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+            return findings, len(files)
+
+    trees: dict[str, ast.Module] = {}
+    for filename in files:
+        trees[filename] = ast.parse(sources[filename], filename=filename)
+
+    from repro.check.callgraph import ProjectIndex
+
+    index = ProjectIndex(trees)
+    project_sig = None
+    if cache is not None:
+        from repro.check.cache import CheckCache
+
+        project_sig = CheckCache.project_signature(index)
+
+    per_file: dict[str, list[Finding]] = {}
+    for filename in files:
+        cached = None
+        if cache is not None:
+            cached = cache.lookup_file(filename, shas[filename], project_sig)
+        if cached is not None:
+            per_file[filename] = cached
+            continue
+        module = index.modules[filename]
+        raw = analyze_module(
+            trees[filename],
+            filename,
+            extra_constants=index.constant_env(module),
+            shm_factories=frozenset(index.shm_factories),
+        )
+        per_file[filename] = _filter_noqa(
+            raw, sources[filename].splitlines(), trees[filename]
+        )
+
+    proto_findings: list[Finding] = []
+    if protocol:
+        from repro.check.protocol import analyze_protocol
+
+        raw_proto = analyze_protocol(trees, index=index)
+        for finding in raw_proto:
+            if finding.path in sources:
+                lines = sources[finding.path].splitlines()
+                kept = _filter_noqa([finding], lines, trees[finding.path])
+                proto_findings.extend(kept)
+            else:
+                proto_findings.append(finding)
+
+    if cache is not None:
+        cache.store(shas, project_sig, per_file, proto_findings, flags)
+
+    findings = [f for fs in per_file.values() for f in fs] + proto_findings
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, len(files)
 
 
+def analyze_paths(paths: list[str]) -> tuple[list[Finding], int]:
+    """All per-module findings under *paths* plus the file count.
+
+    Kept as the simple entry point (no protocol pass, no cache); project
+    context is still applied so cross-module tags and helper-returned shm
+    handles resolve.
+    """
+    return analyze_project(paths)
+
+
+# ----------------------------------------------------------------------
+# Baseline / ratchet
+# ----------------------------------------------------------------------
+def baseline_fingerprint(finding: Finding, source_line: str) -> str:
+    """A location-drift-tolerant identity for one finding.
+
+    Hashes the rule, the file's basename, the *content* of the flagged
+    line (whitespace-stripped) — so renaming a directory or inserting a
+    line above does not churn the baseline — but not the line number.
+    """
+    basename = os.path.basename(finding.path.replace("\\", "/"))
+    key = f"{finding.rule}|{basename}|{source_line.strip()}"
+    return hashlib.sha1(key.encode()).hexdigest()
+
+
+def _fingerprints(findings: list[Finding]) -> dict[str, Finding]:
+    """fingerprint -> finding (occurrence-counted for duplicates)."""
+    line_cache: dict[str, list[str]] = {}
+    result: dict[str, Finding] = {}
+    counts: dict[str, int] = {}
+    for finding in findings:
+        if finding.path not in line_cache:
+            try:
+                with open(finding.path, encoding="utf-8") as handle:
+                    line_cache[finding.path] = handle.read().splitlines()
+            except OSError:
+                line_cache[finding.path] = []
+        lines = line_cache[finding.path]
+        text = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        base = baseline_fingerprint(finding, text)
+        occurrence = counts.get(base, 0)
+        counts[base] = occurrence + 1
+        result[f"{base}:{occurrence}"] = finding
+    return result
+
+
+def load_baseline(path: str) -> set[str]:
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    return set(data.get("fingerprints", []))
+
+
+def write_baseline(path: str, findings: list[Finding]) -> int:
+    fingerprints = sorted(_fingerprints(findings))
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "fingerprints": fingerprints}, handle,
+                  indent=2)
+        handle.write("\n")
+    return len(fingerprints)
+
+
+def apply_baseline(
+    findings: list[Finding], baseline_path: str
+) -> list[Finding]:
+    """Suppress grandfathered findings; flag stale baseline entries.
+
+    Returns the new findings plus one BASE001 per baseline fingerprint
+    that no current finding matches (the ratchet: fixing a grandfathered
+    finding *requires* removing its baseline entry).
+    """
+    grandfathered = load_baseline(baseline_path)
+    current = _fingerprints(findings)
+    fresh = [
+        finding
+        for fingerprint, finding in current.items()
+        if fingerprint not in grandfathered
+    ]
+    stale = grandfathered - set(current)
+    for fingerprint in sorted(stale):
+        fresh.append(
+            Finding(
+                "BASE001", baseline_path, 1, 0,
+                f"baseline entry {fingerprint[:12]}... matches no current "
+                "finding — the underlying issue was fixed; remove the "
+                "entry (or regenerate with --update-baseline)",
+            )
+        )
+    fresh.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return fresh
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
 def _default_paths() -> list[str]:
     if os.path.isdir(os.path.join("src", "repro")):
         return [os.path.join("src", "repro")]
@@ -81,12 +319,24 @@ def run_check(
     *,
     json_output: bool = False,
     stream=None,
+    protocol: bool = False,
+    sarif_path: str | None = None,
+    baseline_path: str | None = None,
+    update_baseline: bool = False,
+    cache_path: str | None = None,
 ) -> int:
     """Run the static pass and print a report; returns the exit code."""
     stream = stream if stream is not None else sys.stdout
     paths = paths or _default_paths()
+    cache = None
+    if cache_path is not None:
+        from repro.check.cache import CheckCache
+
+        cache = CheckCache(cache_path)
     try:
-        findings, n_files = analyze_paths(paths)
+        findings, n_files = analyze_project(
+            paths, protocol=protocol, cache=cache
+        )
     except FileNotFoundError as exc:
         print(f"repro.check: no such path: {exc}", file=sys.stderr)
         return 2
@@ -94,20 +344,48 @@ def run_check(
         print(f"repro.check: cannot parse {exc.filename}: {exc}",
               file=sys.stderr)
         return 2
+    if update_baseline:
+        if baseline_path is None:
+            print("repro.check: --update-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        count = write_baseline(baseline_path, findings)
+        print(
+            f"repro.check: baseline written to {baseline_path} "
+            f"({count} grandfathered finding(s))",
+            file=stream,
+        )
+        return 0
+    if baseline_path is not None:
+        try:
+            findings = apply_baseline(findings, baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"repro.check: cannot read baseline: {exc}",
+                  file=sys.stderr)
+            return 2
+    if sarif_path is not None:
+        from repro.check.sarif import to_sarif
+
+        with open(sarif_path, "w", encoding="utf-8") as handle:
+            json.dump(to_sarif(findings), handle, indent=2)
+            handle.write("\n")
     if json_output:
         payload = {
             "version": 1,
             "checked_files": n_files,
+            "protocol": protocol,
             "findings": [finding.as_dict() for finding in findings],
         }
         print(json.dumps(payload, indent=2), file=stream)
     else:
         for finding in findings:
             print(finding.render(), file=stream)
+        mode = " (+protocol)" if protocol else ""
         summary = (
-            f"repro.check: {len(findings)} finding(s) in {n_files} file(s)"
+            f"repro.check: {len(findings)} finding(s) in {n_files} "
+            f"file(s){mode}"
             if findings
-            else f"repro.check: OK ({n_files} files, 0 findings)"
+            else f"repro.check: OK ({n_files} files, 0 findings{mode})"
         )
         print(summary, file=stream)
     return 1 if findings else 0
@@ -120,7 +398,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description="SPMD static analysis for the PRNA stack "
-        "(rules SPMD001-SPMD004; see docs/static-analysis.md)",
+        "(per-module rules SPMD001-SPMD004/ARCH001, interprocedural "
+        "protocol rules SPMD1xx/SPMD2xx/SCHED0xx with --protocol; "
+        "see docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -131,6 +411,29 @@ def main(argv: list[str] | None = None) -> int:
         help="machine-readable findings for CI annotation",
     )
     parser.add_argument(
+        "--protocol", action="store_true",
+        help="run the interprocedural protocol verifier (rank-symbolic "
+        "communication schedules, deadlock and schedule-legality checks)",
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", dest="sarif_path",
+        help="write findings as SARIF 2.1.0 (GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", dest="baseline_path",
+        help="suppress findings recorded in this baseline file; stale "
+        "entries become BASE001 findings (ratchet mode)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache", metavar="PATH", dest="cache_path",
+        help="incremental findings cache keyed by file content hashes "
+        "(re-running on an unchanged tree is near-instant)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -139,4 +442,12 @@ def main(argv: list[str] | None = None) -> int:
         for rule, summary in sorted(RULES.items()):
             print(f"{rule}  {summary}")
         return 0
-    return run_check(args.paths or None, json_output=args.json_output)
+    return run_check(
+        args.paths or None,
+        json_output=args.json_output,
+        protocol=args.protocol,
+        sarif_path=args.sarif_path,
+        baseline_path=args.baseline_path,
+        update_baseline=args.update_baseline,
+        cache_path=args.cache_path,
+    )

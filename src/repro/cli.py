@@ -8,8 +8,10 @@ Subcommands:
 * ``simulate`` — simulated PRNA speedup for a structure/cluster;
 * ``trace-report FILE`` — per-rank compute/comm-wait/idle summary of a
   Chrome trace produced by ``--trace``;
-* ``check [PATHS]`` — SPMD static analysis (rules SPMD001-SPMD004; see
-  ``docs/static-analysis.md``), same engine as ``python -m repro.check``;
+* ``check [PATHS]`` — SPMD static analysis (per-module rules SPMD001-004/
+  ARCH001 plus the ``--protocol`` interprocedural verifier, SARIF and
+  baseline modes; see ``docs/static-analysis.md``), same engine as
+  ``python -m repro.check``;
 * ``experiments ...`` — forwards to ``python -m repro.experiments``.
 
 ``compare`` and ``simulate`` accept ``--trace PATH`` (write a Perfetto-
@@ -275,7 +277,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         for rule, summary in sorted(RULES.items()):
             print(f"{rule}  {summary}")
         return 0
-    return run_check(args.paths or None, json_output=args.json_output)
+    return run_check(
+        args.paths or None,
+        json_output=args.json_output,
+        protocol=args.protocol,
+        sarif_path=args.sarif_path,
+        baseline_path=args.baseline_path,
+        update_baseline=args.update_baseline,
+        cache_path=args.cache_path,
+    )
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
@@ -407,7 +417,8 @@ def main(argv: list[str] | None = None) -> int:
 
     check = sub.add_parser(
         "check",
-        help="SPMD static analysis of Python sources (rules SPMD001-004)",
+        help="SPMD static analysis of Python sources (per-module rules "
+        "plus the --protocol interprocedural verifier)",
     )
     check.add_argument(
         "paths", nargs="*", help="files or directories (default: src/repro)"
@@ -415,6 +426,27 @@ def main(argv: list[str] | None = None) -> int:
     check.add_argument(
         "--json", action="store_true", dest="json_output",
         help="machine-readable findings for CI annotation",
+    )
+    check.add_argument(
+        "--protocol", action="store_true",
+        help="run the interprocedural protocol verifier "
+        "(SPMD1xx/SPMD2xx/SCHED0xx)",
+    )
+    check.add_argument(
+        "--sarif", metavar="PATH", dest="sarif_path",
+        help="write findings as SARIF 2.1.0",
+    )
+    check.add_argument(
+        "--baseline", metavar="PATH", dest="baseline_path",
+        help="ratchet mode: suppress grandfathered findings",
+    )
+    check.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to --baseline and exit 0",
+    )
+    check.add_argument(
+        "--cache", metavar="PATH", dest="cache_path",
+        help="incremental findings cache (content-hash keyed)",
     )
     check.add_argument(
         "--list-rules", action="store_true",

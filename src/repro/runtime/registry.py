@@ -20,6 +20,7 @@ the names and their classification.
 from __future__ import annotations
 
 import difflib
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.slices import BATCH_ENGINES, ENGINES
@@ -36,6 +37,9 @@ __all__ = [
     "BACKENDS",
     "PARTITIONER_NAMES",
     "SYNC_MODES",
+    "ScheduleDeclaration",
+    "declare_schedule",
+    "executor_schedules",
     "engine_applies",
     "validate_choice",
 ]
@@ -86,6 +90,91 @@ _CHOICES: dict[str, tuple[str, ...]] = {
     "partitioner": PARTITIONER_NAMES,
     "sync_mode": SYNC_MODES,
 }
+
+
+@dataclass(frozen=True)
+class ScheduleDeclaration:
+    """An executor's declared memo-cell publication schedule.
+
+    The static protocol verifier (``repro.check.protocol``, rule family
+    SCHED0xx) checks every declaration that *claims soundness* against
+    the recurrence's actual ``d1``/``d2`` dependency pairs
+    (:func:`repro.analysis.depgraph.arc_dependency_pairs`): the declared
+    ``order`` must publish each dependency arc strictly before every arc
+    that reads it.  This is the merge gate for ROADMAP item 3's async
+    dataflow executor — a new executor registers its schedule here and
+    the checker proves (or refutes) its legality at check time instead
+    of as an SAN202 divergence at runtime.
+
+    ``key``
+        ``"<executor>:<sync_mode>"`` — both halves must exist in the
+        registry's name catalogs (else SCHED003).
+    ``entry``
+        Dotted name of the SPMD entry point implementing the schedule.
+    ``publishes``
+        What crosses the rank boundary per stage: ``"row"`` (a memo row
+        per S1 arc), ``"pair"``, or ``"none"``.
+    ``order``
+        The arc publication order: ``"right-endpoint"`` is the paper's
+        (identical to arc index order, provably legal); anything else is
+        checked sample-by-sample.
+    ``claims_sound``
+        Declarations with ``False`` are documented ablations (the
+        ``deferred`` mode trades soundness for a measurement) and are
+        skipped by the legality checker.
+    """
+
+    key: str
+    entry: str
+    publishes: str
+    order: str
+    claims_sound: bool = True
+
+
+_SCHEDULES: dict[str, ScheduleDeclaration] = {}
+
+
+def declare_schedule(declaration: ScheduleDeclaration) -> ScheduleDeclaration:
+    """Register an executor's publication schedule for SCHED checks."""
+    _SCHEDULES[declaration.key] = declaration
+    return declaration
+
+
+def executor_schedules() -> tuple[ScheduleDeclaration, ...]:
+    """Every declared executor schedule, in registration order."""
+    return tuple(_SCHEDULES.values())
+
+
+# The shipped executors' schedules.  PRNA's row/pair modes publish in
+# right-endpoint (= arc index) order, the order under which the memo
+# dependency matrix is strictly lower-triangular; ``deferred`` publishes
+# nothing intra-stage and is declared unsound by design (it exists to
+# measure what the synchronization costs).
+declare_schedule(
+    ScheduleDeclaration(
+        key="prna:row", entry="repro.parallel.prna.prna_rank",
+        publishes="row", order="right-endpoint",
+    )
+)
+declare_schedule(
+    ScheduleDeclaration(
+        key="prna:pair", entry="repro.parallel.prna.prna_rank",
+        publishes="pair", order="right-endpoint",
+    )
+)
+declare_schedule(
+    ScheduleDeclaration(
+        key="prna:deferred", entry="repro.parallel.prna.prna_rank",
+        publishes="none", order="right-endpoint", claims_sound=False,
+    )
+)
+declare_schedule(
+    ScheduleDeclaration(
+        key="managerworker:row",
+        entry="repro.parallel.managerworker.manager_worker_rank",
+        publishes="row", order="right-endpoint",
+    )
+)
 
 
 def engine_applies(algorithm: str) -> bool:

@@ -150,7 +150,9 @@ def read_ct(source: str | os.PathLike | TextIO) -> Structure:
                 raise ParseError(f"ct line {lineno}: {exc}") from exc
             pairs[idx] = pair
             bases[idx] = base
-        if sorted(pairs) != list(range(1, length + 1)):
+        # Compare lengths first: a bogus header like 10**20 must not
+        # materialize list(range(...)) (OverflowError past C ssize_t).
+        if len(pairs) != length or sorted(pairs) != list(range(1, length + 1)):
             raise ParseError(
                 f"ct: expected {length} contiguous positions, got {len(pairs)}"
             )

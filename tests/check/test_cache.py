@@ -1,0 +1,165 @@
+"""Incremental-cache behaviour: correctness first, speed as a bench.
+
+The cache must never change *what* is reported — only how fast.  Every
+test here drives :func:`repro.check.static.analyze_project` through a
+real on-disk tree and asserts cold/warm/invalidation behaviour on the
+findings themselves (the <10% wall-time bar lives in
+``benchmarks/bench_check.py`` / ``BENCH_check.json``, not in the test
+suite, where single-CPU container timing would flake).
+"""
+
+import textwrap
+
+from repro.check.cache import CheckCache
+from repro.check.static import analyze_project
+
+
+def write_tree(root, files: dict[str, str]):
+    for name, source in files.items():
+        path = root / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return str(root)
+
+
+FAULTY = {
+    "mod_a.py": """
+        TAG = 7
+
+        def sender(comm, x):
+            if comm.rank == 0:
+                comm.barrier()
+            comm.send(x, 1, TAG)
+        """,
+    "mod_b.py": """
+        def clean(comm, x):
+            comm.allreduce(x)
+            return comm.recv(0, 7)
+        """,
+}
+
+
+def run(tree, cache=None, protocol=False):
+    findings, n_files = analyze_project([tree], protocol=protocol,
+                                        cache=cache)
+    return [f.as_dict() for f in findings], n_files
+
+
+class TestWarmRuns:
+    def test_warm_run_identical_findings(self, tmp_path):
+        tree = write_tree(tmp_path, FAULTY)
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        cold, _ = run(tree, cache, protocol=True)
+        warm_cache = CheckCache(cache.cache_path)
+        warm, _ = run(tree, warm_cache, protocol=True)
+        assert cold == warm
+        assert cold  # the seeded tree is not clean — SPMD001 at least
+
+    def test_warm_run_skips_per_file_analysis(self, tmp_path):
+        tree = write_tree(tmp_path, FAULTY)
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        run(tree, cache)
+        warm_cache = CheckCache(cache.cache_path)
+        run(tree, warm_cache)
+        assert warm_cache.hits > 0
+        assert warm_cache.misses == 0
+
+    def test_cache_roundtrips_without_protocol(self, tmp_path):
+        tree = write_tree(tmp_path, FAULTY)
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        cold, _ = run(tree, cache, protocol=False)
+        warm, _ = run(tree, CheckCache(cache.cache_path), protocol=False)
+        assert cold == warm
+
+
+class TestInvalidation:
+    def test_file_edit_invalidates(self, tmp_path):
+        tree = write_tree(tmp_path, FAULTY)
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        cold, _ = run(tree, cache)
+        # Fix the rank-gated barrier; the warm run must see the fix.
+        (tmp_path / "mod_a.py").write_text(
+            textwrap.dedent(
+                """
+                TAG = 7
+
+                def sender(comm, x):
+                    comm.barrier()
+                    comm.send(x, 1, TAG)
+                """
+            )
+        )
+        warm, _ = run(tree, CheckCache(cache.cache_path))
+        # SPMD002 (module-local: mod_a's send has no same-module recv)
+        # persists; the rank-gated barrier is what the edit fixed.
+        assert [f["rule"] for f in cold] == ["SPMD001", "SPMD002"]
+        assert [f["rule"] for f in warm] == ["SPMD002"]
+
+    def test_protocol_flag_partitions_the_cache(self, tmp_path):
+        tree = write_tree(
+            tmp_path,
+            {
+                "mod.py": """
+                    def run(comm, x):
+                        if comm.rank == 0:
+                            comm.allreduce(x)
+                """
+            },
+        )
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        # SPMD001 catches the lexical pattern; SPMD101 needs --protocol.
+        plain, _ = run(tree, cache, protocol=False)
+        with_proto, _ = run(
+            tree, CheckCache(cache.cache_path), protocol=True
+        )
+        assert [f["rule"] for f in plain] == ["SPMD001"]
+        assert sorted(f["rule"] for f in with_proto) == [
+            "SPMD001", "SPMD101",
+        ]
+
+    def test_cross_module_constant_edit_invalidates_peer_findings(
+        self, tmp_path
+    ):
+        # mod_b's recv tag comes from mod_a: editing mod_a's constant
+        # must invalidate mod_b's cached cleanliness (project signature).
+        tree = write_tree(
+            tmp_path,
+            {
+                "pkg/tags.py": "TAG = 7\n",
+                "pkg/wire.py": """
+                    from pkg.tags import TAG
+
+                    def sender(comm, x):
+                        comm.send(x, 1, TAG)
+                        return comm.recv(1, 7)
+                """,
+            },
+        )
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        clean, _ = run(tree, cache)
+        assert clean == []
+        (tmp_path / "pkg" / "tags.py").write_text("TAG = 8\n")
+        stale, _ = run(tree, CheckCache(cache.cache_path))
+        assert [f["rule"] for f in stale] == ["SPMD002"]
+
+    def test_version_bump_discards_cache(self, tmp_path):
+        tree = write_tree(tmp_path, FAULTY)
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        run(tree, cache)
+        import json
+
+        with open(cache.cache_path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        data["version"] = -1
+        with open(cache.cache_path, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+        reloaded = CheckCache(cache.cache_path)
+        assert reloaded.lookup_tree({}) is None
+
+    def test_corrupt_cache_file_is_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cache = CheckCache(str(path))
+        tree = write_tree(tmp_path / "t", FAULTY)
+        findings, _ = run(tree, cache)
+        assert findings  # analysis ran fine from scratch

@@ -1,24 +1,39 @@
 """Fault injection: each seeded SPMD bug must be caught with its rule ID.
 
-Four classic bugs, each detected by the static pass, the runtime
-sanitizer, or both:
+Two tiers.  The classic per-module bugs:
 
 1. rank-0-only barrier          -> SPMD001 (static), SAN101/SAN103 (runtime)
 2. mismatched Allreduce dtypes  -> SAN102
 3. out-of-partition shm write   -> SPMD003 (static), SAN202 (runtime)
 4. swapped send/recv tags       -> SPMD002 (static), SAN104 (runtime)
+
+And the seeded *protocol* bugs — each one invisible to a single-module
+lexical pass, caught by the interprocedural verifier with its exact rule
+ID, and cross-checked against the runtime sanitizer verdict the same
+fault produces when actually executed (``TestProtocolFaults``):
+
+P1. rank-gated collective behind a helper  -> SPMD101 / SAN101
+P2. parity-dependent collective            -> SPMD101 / SAN101
+P3. divergent reduction operator           -> SPMD102 / SAN102
+P4. rank-dependent collective trip count   -> SPMD103 / SAN103
+P5. swapped cross-module tag constants     -> SPMD201+SPMD202 / SAN104
+P6. illegal executor publication order     -> SCHED001 / SAN203
 """
 
+import ast
 import textwrap
 
 import numpy as np
 import pytest
 
 from repro.check import analyze_source
+from repro.check.protocol import analyze_protocol, check_declared_schedules
 from repro.check.sanitizer import SanitizedCommunicator
 from repro.core.memo import DenseMemoTable
 from repro.errors import SanitizerError
+from repro.mpi.communicator import ReduceOp
 from repro.mpi.inprocess import run_threaded
+from repro.runtime.registry import ScheduleDeclaration
 
 
 def sanitized(comm, timeout=2.0):
@@ -180,3 +195,226 @@ class TestSwappedTags:
 
         with pytest.raises(SanitizerError, match="SAN104.*tag=5"):
             run_threaded(fn, 2)
+
+
+# ----------------------------------------------------------------------
+# Seeded protocol faults (interprocedural families, ``--protocol``)
+# ----------------------------------------------------------------------
+def proto(source: str, path: str = "src/fault/mod.py"):
+    tree = ast.parse(textwrap.dedent(source), filename=path)
+    return analyze_protocol({path: tree})
+
+
+def proto_modules(**modules: str):
+    trees = {}
+    for name, source in modules.items():
+        path = "src/" + name.replace("_", "/") + ".py"
+        trees[path] = ast.parse(textwrap.dedent(source), filename=path)
+    return analyze_protocol(trees)
+
+
+class TestProtocolFaults:
+    """Each seeded bug: static rule ID + the runtime verdict it causes.
+
+    The static snippets are deliberately shaped so the module-local
+    rules (SPMD001-004) do NOT fire — the collective is hidden behind a
+    helper call, a constant import, or an executor declaration — proving
+    the interprocedural pass is what catches them.
+    """
+
+    # -- P1: manager does an allreduce the worker helper never issues --
+    def test_p1_gated_helper_collective_static(self):
+        findings = proto(
+            """
+            def run(comm, xs):
+                if comm.rank == 0:
+                    return _manager(comm, xs)
+                return _worker(comm, xs)
+
+            def _manager(comm, xs):
+                total = comm.allreduce(len(xs))
+                comm.barrier()
+                return total
+
+            def _worker(comm, xs):
+                comm.barrier()
+                return None
+            """
+        )
+        assert "SPMD101" in {f.rule for f in findings}
+
+    def test_p1_runtime_verdict(self):
+        def fn(comm):
+            c = sanitized(comm)
+            if c.rank == 0:
+                c.allreduce(1)
+            c.barrier()
+
+        with pytest.raises(SanitizerError, match="SAN101"):
+            run_threaded(fn, 2)
+
+    # -- P2: collective guarded by rank parity (undecidable branch) --
+    def test_p2_parity_branch_static(self):
+        findings = proto(
+            """
+            def step(comm, xs):
+                if comm.rank % 2 == 0:
+                    comm.barrier()
+                return comm.bcast(xs, root=0)
+            """
+        )
+        assert "SPMD101" in {f.rule for f in findings}
+
+    def test_p2_runtime_verdict(self):
+        def fn(comm):
+            c = sanitized(comm)
+            if c.rank % 2 == 0:
+                c.barrier()
+            return c.bcast(1, root=0)
+
+        with pytest.raises(SanitizerError, match="SAN101"):
+            run_threaded(fn, 2)
+
+    # -- P3: ranks reduce with different operators --
+    def test_p3_divergent_reduce_op_static(self):
+        findings = proto(
+            """
+            def reduce_row(comm, row):
+                op = MAX if comm.rank == 0 else SUM
+                comm.Allreduce(row, op)
+            """
+        )
+        assert "SPMD102" in {f.rule for f in findings}
+
+    def test_p3_runtime_verdict(self):
+        def fn(comm):
+            c = sanitized(comm)
+            op = ReduceOp.MAX if c.rank == 0 else ReduceOp.SUM
+            return c.allreduce(3, op=op)
+
+        with pytest.raises(SanitizerError, match="SAN102"):
+            run_threaded(fn, 2)
+
+    # -- P4: collective trip count depends on the rank --
+    def test_p4_rank_dependent_loop_static(self):
+        findings = proto(
+            """
+            def drain(comm):
+                for _ in range(comm.rank + 1):
+                    comm.barrier()
+            """
+        )
+        assert "SPMD103" in {f.rule for f in findings}
+
+    def test_p4_runtime_verdict(self):
+        def fn(comm):
+            c = sanitized(comm, timeout=0.5)
+            for _ in range(c.rank + 1):
+                c.barrier()
+
+        # Rank 0 leaves after one barrier; rank 1's second barrier can
+        # only time out naming the departed rank.
+        with pytest.raises(SanitizerError, match="SAN103"):
+            run_threaded(fn, 2)
+
+    # -- P5: manager and worker disagree on a tag, across modules --
+    def test_p5_swapped_cross_module_tags_static(self):
+        findings = proto_modules(
+            fault_tags="""
+            TAG_WORK = 3
+            TAG_DONE = 5
+            """,
+            fault_manager="""
+            from fault.tags import TAG_DONE, TAG_WORK
+
+            def manager(comm, xs):
+                comm.send(xs, 1, tag=TAG_WORK)
+                return comm.recv(1, tag=TAG_DONE)
+            """,
+            fault_worker="""
+            from fault.tags import TAG_WORK
+
+            def worker(comm):
+                item = comm.recv(0, tag=TAG_WORK)
+                comm.send(item, 0, tag=4)
+            """,
+        )
+        rules = {f.rule for f in findings}
+        assert "SPMD201" in rules  # send tag 4 has no receiver
+        assert "SPMD202" in rules  # recv tag 5 has no sender
+
+    def test_p5_runtime_verdict(self):
+        def fn(comm):
+            c = sanitized(comm, timeout=0.5)
+            if c.rank == 0:
+                c.send("work", 1, tag=3)
+                return c.recv(1, tag=5)
+            item = c.recv(0, tag=3)
+            c.send(item, 0, tag=4)  # bug: the manager expects tag 5
+
+        with pytest.raises(SanitizerError, match="SAN104.*tag=5"):
+            run_threaded(fn, 2)
+
+    # -- P6: executor declares a publication order that violates d1/d2 --
+    def test_p6_illegal_schedule_static(self):
+        # A known executor/sync pair whose declared order is reversed:
+        # the legality check finds a dependency published after its
+        # reader on a concrete sample structure.
+        bad = ScheduleDeclaration(
+            key="prna:row", entry="repro.parallel.prna.prna_rank",
+            publishes="row", order="reverse-right-endpoint",
+        )
+        verdicts = {
+            decl.key: verdict
+            for decl, verdict, _ in check_declared_schedules([bad])
+        }
+        assert verdicts["prna:row"] == "illegal-order"
+
+    def test_p6_illegal_schedule_static_rule_id(self):
+        bad = ScheduleDeclaration(
+            key="prna:row", entry="repro.parallel.prna.prna_rank",
+            publishes="row", order="reverse-right-endpoint",
+        )
+        findings = analyze_protocol({}, declarations=[bad])
+        assert [f.rule for f in findings] == ["SCHED001"]
+
+    def test_p6_runtime_verdict(self):
+        # The runtime shadow of an illegal order: a reader consumes a
+        # cell before the publication that should precede it, which the
+        # memo guard reports as an unordered read/write pair.
+        def fn(comm):
+            c = sanitized(comm)
+            table = DenseMemoTable(4, 4)
+            owned = [1] if c.rank == 0 else [2]
+            memo = c.guard_memo(table, owned_columns=owned)
+            row = memo.values[1]
+            if c.rank == 0:
+                memo.lookup(1, 2)  # dependency not yet published
+            row[owned[0]] = 5
+            c.Allreduce(row)
+
+        with pytest.raises(SanitizerError, match="SAN203"):
+            run_threaded(fn, 2)
+
+    # -- sanity: the legal counterpart of every fault stays silent --
+    def test_clean_counterparts_produce_no_findings(self):
+        findings = proto(
+            """
+            def run(comm, xs):
+                if comm.rank == 0:
+                    _prepare(xs)
+                total = comm.allreduce(len(xs))
+                comm.barrier()
+                return total
+
+            def _prepare(xs):
+                xs.sort()
+            """
+        )
+        assert findings == []
+        good = ScheduleDeclaration(
+            key="prna:row", entry="repro.parallel.prna.prna_rank",
+            publishes="row", order="right-endpoint",
+        )
+        verdicts = [v for _, v, _ in check_declared_schedules([good])]
+        assert verdicts == ["ok"]
