@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint check-protocol examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint check-protocol check-dataflow examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -39,11 +39,17 @@ lint:
 	PYTHONPATH=src $(PYTHON) -m repro.check src/repro
 
 # Interprocedural protocol verification: the rank-symbolic schedule
-# analysis must prove the shipped tree deadlock-free (exit 0), and the
-# cold/warm analyzer timing lands in BENCH_check.json so incremental-
-# cache regressions are visible (warm must be <10% of cold).
+# analysis must prove the shipped tree deadlock-free (exit 0).
 check-protocol:
 	PYTHONPATH=src $(PYTHON) -m repro.check src/repro --protocol
+
+# Numeric dataflow verification: interval/shape/dtype abstract
+# interpretation plus the cost-contract audit must prove the shipped
+# tree clean (exit 0), and the cold/warm analyzer timing for both passes
+# lands in BENCH_check.json so incremental-cache regressions are visible
+# (warm must be <10% of cold).
+check-dataflow:
+	PYTHONPATH=src $(PYTHON) -m repro.check src/repro --protocol --dataflow
 	$(PYTHON) benchmarks/bench_check.py
 
 # Runtime-sanitizer transparency check: sanitized 2-rank PRNA on the
@@ -57,7 +63,7 @@ sanitize-demo:
 plan-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.demo
 
-verify: lint check-protocol trace-demo bench-smoke sanitize-demo plan-demo
+verify: lint check-protocol check-dataflow trace-demo bench-smoke sanitize-demo plan-demo
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

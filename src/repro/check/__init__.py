@@ -7,11 +7,12 @@ write its owned columns of the shm-backed memo between barriers.  Nothing
 in the algorithm itself checks any of this — a rank-conditional collective
 or an out-of-partition write silently deadlocks or corrupts ``M``.
 
-This package verifies the protocol in three complementary layers:
+This package verifies the protocol in four complementary layers:
 
 * **static, per-module** (:mod:`repro.check.static`,
   ``python -m repro.check`` or ``repro-rna check``) — an AST linter
-  flagging SPMD hazards with rule IDs ``SPMD001``-``SPMD004``,
+  flagging SPMD hazards with rule IDs ``SPMD001``-``SPMD003``,
+  ``ARCH001`` and the lexical ``DTYPE101`` (formerly ``SPMD004``), with
   suppression comments, JSON/SARIF output, and a nonzero exit code on
   findings (MPI-Checker-style collective matching);
 * **static, whole-program** (:mod:`repro.check.protocol`, ``--protocol``)
@@ -21,6 +22,13 @@ This package verifies the protocol in three complementary layers:
   dependency-schedule legality against the recurrence's ``d1``/``d2``
   structure (``SCHED0xx``), with content-hash incremental caching and a
   baseline ratchet;
+* **static, numeric** (:mod:`repro.check.dataflow` +
+  :mod:`repro.check.costs`, ``--dataflow``) — interval/shape/dtype
+  abstract interpretation of the kernels proving dtype overflows under
+  the registry's declared input bounds (``DTYPE1xx``), shape and
+  memo-axis incompatibilities (``SHAPE1xx``), and auditing every
+  registered :class:`~repro.runtime.registry.CostContract` against the
+  statically extracted loop-nest degree (``COST0xx``);
 * **dynamic** (:mod:`repro.check.sanitizer`) — a
   :class:`~repro.check.sanitizer.SanitizedCommunicator` that stamps every
   collective with a sequence number, op, dtype, shape, and call site and

@@ -9,8 +9,11 @@ constants for SPMD002, shm factories for SPMD003) — a **project
 signature** hashing those facts.  A per-file entry is reused only when
 both its content hash and the project signature match.
 
-Protocol findings are whole-program by construction, so they are keyed by
-the **tree hash** (hash of every file's content hash).  The fast path:
+Protocol and dataflow findings are whole-program by construction, so they
+are keyed by the **tree hash** (hash of every file's content hash plus
+the analysis flags — which fold in the enabled rule-set version,
+:data:`repro.check.findings.RULESET_VERSION`, so toggling ``--dataflow``
+or changing the rule catalog invalidates stale entries).  The fast path:
 when every file's hash is unchanged, :meth:`CheckCache.lookup_tree`
 returns the complete cached result — per-file and protocol findings —
 without parsing a single module, which is what makes the warm re-run an
@@ -19,8 +22,9 @@ order of magnitude cheaper than the cold one (the acceptance bar in
 
 The cache file is JSON under ``.repro-check-cache.json`` next to the
 tree being analyzed (or an explicit ``--cache PATH``); a version bump in
-:data:`CACHE_VERSION` invalidates old caches wholesale, and any rule
-catalog change should bump it.
+:data:`CACHE_VERSION` invalidates old caches wholesale.  Rule catalog
+changes need no manual bump: the catalog's content hash is part of both
+the tree flags and the project signature.
 """
 
 from __future__ import annotations
@@ -29,11 +33,11 @@ import hashlib
 import json
 import os
 
-from repro.check.findings import Finding
+from repro.check.findings import RULESET_VERSION, Finding
 
 __all__ = ["CheckCache", "file_sha", "CACHE_VERSION"]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 DEFAULT_CACHE_NAME = ".repro-check-cache.json"
 
@@ -78,6 +82,7 @@ class CheckCache:
             "tree_sha": None,
             "files": {},
             "protocol": [],
+            "dataflow": [],
         }
 
     # ------------------------------------------------------------------
@@ -85,6 +90,7 @@ class CheckCache:
     def project_signature(index) -> str:
         """Hash of the interprocedural facts per-file findings depend on."""
         digest = hashlib.sha256()
+        digest.update(f"rules:{RULESET_VERSION};".encode())
         for path in sorted(index.modules):
             info = index.modules[path]
             digest.update(info.name.encode())
@@ -108,10 +114,12 @@ class CheckCache:
     def lookup_tree(self, shas: dict[str, str], flags: str = ""):
         """Complete cached result when *nothing* changed, else ``None``.
 
-        Returns ``(per_file_findings, protocol_findings)`` without
-        requiring a parse of any module.  *flags* folds analysis-mode
-        switches (``--protocol``) into the key so a cache written without
-        the protocol pass never satisfies a run that wants it.
+        Returns ``(per_file_findings, protocol_findings,
+        dataflow_findings)`` without requiring a parse of any module.
+        *flags* folds analysis-mode switches (``--protocol``,
+        ``--dataflow``) and the rule-set version into the key, so a cache
+        written without a pass — or against an older rule catalog — never
+        satisfies a run that wants it.
         """
         if self._data.get("tree_sha") != self.tree_sha(shas, flags):
             return None
@@ -125,8 +133,9 @@ class CheckCache:
                 return None
             per_file.extend(_findings_from_json(entry.get("findings", [])))
         protocol = _findings_from_json(self._data.get("protocol", []))
+        dataflow = _findings_from_json(self._data.get("dataflow", []))
         self.hits += len(shas)
-        return per_file, protocol
+        return per_file, protocol, dataflow
 
     def lookup_file(
         self, path: str, sha: str, project_sig: str
@@ -150,6 +159,7 @@ class CheckCache:
         per_file: dict[str, list[Finding]],
         protocol: list[Finding],
         flags: str = "",
+        dataflow_findings: list[Finding] | None = None,
     ) -> None:
         """Persist this run's findings keyed by content hashes.
 
@@ -169,6 +179,7 @@ class CheckCache:
                 for path in shas
             },
             "protocol": _findings_to_json(protocol),
+            "dataflow": _findings_to_json(dataflow_findings or []),
         }
         tmp = self.cache_path + ".tmp"
         try:

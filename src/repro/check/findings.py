@@ -9,10 +9,17 @@ documented alongside (they are raised, not collected, so they carry no
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import asdict, dataclass
 
-__all__ = ["RULES", "Finding", "is_suppressed"]
+__all__ = [
+    "RULES",
+    "DEPRECATED_RULES",
+    "RULESET_VERSION",
+    "Finding",
+    "is_suppressed",
+]
 
 #: Static rule catalog: ID -> one-line summary.
 RULES: dict[str, str] = {
@@ -29,8 +36,9 @@ RULES: dict[str, str] = {
         "guard (cross-rank write/write race in the Allreduce window)"
     ),
     "SPMD004": (
-        "narrow integer dtype flows into a lift-based batched kernel (the "
-        "segmented prefix-max lift in core/slices.py can overflow it)"
+        "deprecated alias of DTYPE101 — narrow integer dtype flows into a "
+        "lift-based batched kernel; kept so existing '# noqa: SPMD004' "
+        "comments stay effective"
     ),
     "ARCH001": (
         "direct construction of communicators/Tracer/shm memo outside "
@@ -78,7 +86,76 @@ RULES: dict[str, str] = {
         "stale baseline entry: a grandfathered finding no longer occurs "
         "— remove it from the baseline so the ratchet stays tight"
     ),
+    # -- numeric dataflow verifier (interval/shape abstract interp) -----
+    "DTYPE101": (
+        "narrow integer dtype reaches a lift/pack kernel whose value "
+        "range provably overflows it under the registry's declared input "
+        "bounds (the segmented prefix-max lift offsets segment s by "
+        "s * stride; semantic replacement for SPMD004)"
+    ),
+    "DTYPE102": (
+        "shifted/packed value provably exceeds the word width of the "
+        "integer array it is stored into (interval analysis proves the "
+        "packed bits do not fit)"
+    ),
+    "DTYPE103": (
+        "lossy narrowing cast: the value range flowing into an astype()/"
+        "narrow store provably exceeds the target dtype's representable "
+        "range"
+    ),
+    "SHAPE101": (
+        "memo gather with transposed axes: the np.ix_ row index is "
+        "S2-derived or the column index is S1-derived — the memo axis "
+        "contract is M[k1-side, k2-side]"
+    ),
+    "SHAPE102": (
+        "elementwise/broadcast/out= operands with provably incompatible "
+        "lengths (constant mismatch or same symbolic root at different "
+        "offsets — the off-by-one boundary-column class)"
+    ),
+    "SHAPE103": (
+        "gather/scatter index map provably mismatched with its source or "
+        "destination length (searchsorted column maps, np.take out=, "
+        "dest[idx] = src)"
+    ),
+    "COST001": (
+        "statically extracted loop-nest/vector-op degree of a kernel "
+        "disagrees with the degree its registry CostContract declares — "
+        "the Planner's WorkModel would misprice every plan using it"
+    ),
+    "COST002": (
+        "cost-contract registry inconsistency: an engine without a "
+        "CostContract, or a contract whose entry point does not resolve "
+        "in the analyzed tree"
+    ),
 }
+
+#: Deprecated rule IDs and the rule each one aliases.  A deprecated ID is
+#: never emitted, but its ``# noqa`` token still suppresses the canonical
+#: rule, and ``--list-rules`` marks it.
+DEPRECATED_RULES: dict[str, str] = {
+    "SPMD004": "DTYPE101",
+}
+
+
+def _ruleset_version() -> str:
+    """Short content hash of the rule catalog.
+
+    Folded into the incremental-cache key (:mod:`repro.check.cache`) so
+    adding, removing or re-documenting a rule invalidates cached verdicts
+    instead of silently replaying them.
+    """
+    digest = hashlib.sha256()
+    for rule in sorted(RULES):
+        digest.update(rule.encode())
+        digest.update(RULES[rule].encode())
+    for rule in sorted(DEPRECATED_RULES):
+        digest.update(f"{rule}->{DEPRECATED_RULES[rule]}".encode())
+    return digest.hexdigest()[:12]
+
+
+#: Version tag of the enabled rule set (content hash of the catalog).
+RULESET_VERSION = _ruleset_version()
 
 #: ``# noqa`` / ``# noqa: SPMD001, SPMD003`` on the flagged line.
 _NOQA_RE = re.compile(
@@ -111,6 +188,10 @@ def is_suppressed(rule: str, source_line: str) -> bool:
     A bare ``# noqa`` suppresses every rule on that line; ``# noqa:
     SPMD001, SPMD003`` suppresses only the listed rules.  Anything after
     the code list (an em-dash rationale, say) is ignored.
+
+    A deprecated alias keeps suppressing its canonical rule: ``# noqa:
+    SPMD004`` written against the old dtype smell also covers DTYPE101,
+    so deprecating a rule never un-suppresses existing code.
     """
     match = _NOQA_RE.search(source_line)
     if match is None:
@@ -118,4 +199,11 @@ def is_suppressed(rule: str, source_line: str) -> bool:
     codes = match.group("codes")
     if codes is None:
         return True
-    return rule in {code.strip() for code in codes.split(",")}
+    listed = {code.strip() for code in codes.split(",")}
+    if rule in listed:
+        return True
+    return any(
+        alias in listed
+        for alias, canonical in DEPRECATED_RULES.items()
+        if canonical == rule
+    )

@@ -1,0 +1,179 @@
+"""Integer interval lattice for the numeric dataflow verifier.
+
+The dataflow pass (:mod:`repro.check.dataflow`) interprets kernel code
+over abstract values; this module supplies the **value-range** half of
+the abstraction: closed integer intervals ``[lo, hi]`` with ``None`` as
+the infinity on either side.  The transfer functions are deliberately
+*optimistic about nothing*: every operation widens to top unless both
+operands' bounds are known, so a flagged overflow is a **proof** (given
+the registry's declared input bounds), never a heuristic.
+
+Two pieces of domain knowledge live here next to the lattice:
+
+* :data:`DTYPE_RANGES` — the representable range of every numpy integer
+  dtype the kernels use, the right-hand side of the DTYPE1xx rules;
+* :func:`lift_bound` — the worst-case value produced by the batched
+  engine's segmented prefix-max lift (``seg_id * stride`` with
+  ``stride = max_value * n_rows + 1``; see
+  :func:`repro.core.slices._segmented_tabulate`) under declared input
+  bounds.  This is the number the DTYPE101 message carries: it exceeds
+  every sub-64-bit integer's range while staying below ``2**62``, which
+  is exactly why the lift upcasts to int64 and refuses to run otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "Interval",
+    "TOP",
+    "const",
+    "bounded",
+    "DTYPE_RANGES",
+    "NARROW_INT_DTYPES",
+    "dtype_range",
+    "lift_bound",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval; ``None`` bounds are infinities."""
+
+    lo: int | None
+    hi: int | None
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    def join(self, other: "Interval") -> "Interval":
+        """Lattice join: the smallest interval containing both."""
+        lo = None if self.lo is None or other.lo is None else min(
+            self.lo, other.lo
+        )
+        hi = None if self.hi is None or other.hi is None else max(
+            self.hi, other.hi
+        )
+        return Interval(lo, hi)
+
+    # -- arithmetic transfer functions ---------------------------------
+    def add(self, other: "Interval") -> "Interval":
+        """``self + other`` (unknown bounds stay unknown)."""
+        return Interval(_add(self.lo, other.lo), _add(self.hi, other.hi))
+
+    def sub(self, other: "Interval") -> "Interval":
+        """``self - other``."""
+        return Interval(_sub(self.lo, other.hi), _sub(self.hi, other.lo))
+
+    def mul(self, other: "Interval") -> "Interval":
+        """``self * other`` via the four corners; top if any is unknown."""
+        corners = [
+            a * b
+            for a in (self.lo, self.hi)
+            for b in (other.lo, other.hi)
+            if a is not None and b is not None
+        ]
+        if len(corners) != 4:
+            return TOP
+        return Interval(min(corners), max(corners))
+
+    def lshift(self, other: "Interval") -> "Interval":
+        """``self << other`` for non-negative known shifts; top otherwise."""
+        if (
+            self.lo is None
+            or self.hi is None
+            or other.lo is None
+            or other.hi is None
+            or other.lo < 0
+        ):
+            return TOP
+        corners = [
+            a << s for a in (self.lo, self.hi) for s in (other.lo, other.hi)
+        ]
+        return Interval(min(corners), max(corners))
+
+    def neg(self) -> "Interval":
+        """``-self``."""
+        return Interval(_neg(self.hi), _neg(self.lo))
+
+    # -- comparisons the rules use -------------------------------------
+    def proven_exceeds(self, other: "Interval") -> bool:
+        """Whether some value of ``self`` provably falls outside *other*.
+
+        True only when a bound of ``self`` is **known** and lies outside
+        *other* — an unknown bound never proves anything.
+        """
+        if other.hi is not None and self.hi is not None and self.hi > other.hi:
+            return True
+        if other.lo is not None and self.lo is not None and self.lo < other.lo:
+            return True
+        return False
+
+
+TOP = Interval(None, None)
+
+
+def const(value: int) -> Interval:
+    """The singleton interval ``[value, value]``."""
+    return Interval(value, value)
+
+
+def bounded(lo: int | None, hi: int | None) -> Interval:
+    """The interval ``[lo, hi]`` (``None`` = unbounded on that side)."""
+    return Interval(lo, hi)
+
+
+def _add(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else a + b
+
+
+def _sub(a: int | None, b: int | None) -> int | None:
+    return None if a is None or b is None else a - b
+
+
+def _neg(a: int | None) -> int | None:
+    return None if a is None else -a
+
+
+#: Representable ranges of the numpy integer dtypes the kernels touch.
+DTYPE_RANGES: dict[str, Interval] = {
+    "int8": Interval(-(1 << 7), (1 << 7) - 1),
+    "int16": Interval(-(1 << 15), (1 << 15) - 1),
+    "int32": Interval(-(1 << 31), (1 << 31) - 1),
+    "int64": Interval(-(1 << 63), (1 << 63) - 1),
+    "uint8": Interval(0, (1 << 8) - 1),
+    "uint16": Interval(0, (1 << 16) - 1),
+    "uint32": Interval(0, (1 << 32) - 1),
+    "uint64": Interval(0, (1 << 64) - 1),
+}
+
+#: Integer dtypes narrower than the lift-safe int64.
+NARROW_INT_DTYPES = frozenset(
+    {"int8", "int16", "int32", "uint8", "uint16", "uint32"}
+)
+
+
+def dtype_range(name: str) -> Interval | None:
+    """The representable interval of dtype *name*, or None if unknown."""
+    return DTYPE_RANGES.get(name)
+
+
+def lift_bound(bounds: Mapping[str, int]) -> int:
+    """Worst-case lifted value of the segmented prefix-max under *bounds*.
+
+    Mirrors :func:`repro.core.slices._segmented_tabulate`: memo terms are
+    at most ``max_value``, ``d2p1`` adds one, the stride must exceed any
+    attainable slice value (``n_rows`` gains of at most ``vmax`` each, so
+    ``stride = vmax * n_rows + 1``), and the last segment is lifted by
+    ``(n_seg - 1) * stride`` and then accumulates up to ``stride - 1`` of
+    slice value on top.  ``n_rows`` and ``n_seg`` are both bounded by the
+    arc count.
+    """
+    vmax = bounds["max_value"] + 1
+    n_rows = bounds["max_arcs"]
+    n_seg = bounds["max_arcs"]
+    stride = vmax * n_rows + 1
+    return n_seg * stride - 1

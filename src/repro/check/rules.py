@@ -1,7 +1,7 @@
 """AST rules for the SPMD static pass.
 
-Each rule is a module-level analysis over one parsed file; all four are
-deliberately *lexical* (no inter-procedural dataflow) and tuned so that
+Each rule is a module-level analysis over one parsed file; all of them
+are deliberately *lexical* (no inter-procedural dataflow) and tuned so that
 false positives are rare enough to handle with ``# noqa`` comments:
 
 * **SPMD001** — a collective call (``barrier``/``bcast``/``allreduce``/
@@ -19,10 +19,14 @@ false positives are rare enough to handle with ``# noqa`` comments:
   not derived from an owned-partition source (``partition.tasks_of``, a
   name containing ``owned``, a loop over / membership test against such a
   name).  Outside its partition a rank races the Allreduce window.
-* **SPMD004** — an array created with an explicit sub-64-bit integer
-  dtype flowing into a ``tabulate_slice`` kernel or ``DenseMemoTable``:
-  the segmented prefix-max lift in :mod:`repro.core.slices` offsets
-  segment ``s`` by ``s * stride`` and can overflow narrow dtypes.
+* **DTYPE101** (lexical form; formerly SPMD004) — an array created with
+  an explicit sub-64-bit integer dtype flowing into a ``tabulate_slice``
+  kernel or ``DenseMemoTable``: the segmented prefix-max lift in
+  :mod:`repro.core.slices` offsets segment ``s`` by ``s * stride`` and
+  provably overflows narrow dtypes under the declared input bounds.  The
+  ``--dataflow`` pass proves the same rule interprocedurally with
+  interval arithmetic; this lexical form stays on because it is cheap
+  and runs per-module.
 * **ARCH001** — direct construction of run-scoped machinery
   (communicators, backend launchers, ``Tracer``, shared-memory memo
   tables) outside :mod:`repro.runtime.context`, the layer that owns them.
@@ -458,7 +462,7 @@ def _check_shm_writes(
 
 
 # ----------------------------------------------------------------------
-# SPMD004 — narrow dtypes flowing into lift-based kernels
+# DTYPE101 (formerly SPMD004) — narrow dtypes into lift-based kernels
 # ----------------------------------------------------------------------
 def _narrow_dtype_of(call: ast.Call) -> str | None:
     """The narrow-int dtype name of an array-factory call, if any."""
@@ -513,12 +517,36 @@ def _check_dtype_smells(
 ) -> None:
     narrow: dict[str, str] = {}
     for node in ast.walk(tree):
-        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+        if not isinstance(node, ast.Assign):
+            continue
+        if isinstance(node.value, ast.Call):
             dtype = _narrow_dtype_of(node.value)
             if dtype is not None:
                 for target in node.targets:
                     if isinstance(target, ast.Name):
                         narrow[target.id] = dtype
+        elif isinstance(node.value, ast.Name) and node.value.id in narrow:
+            # table = memo — alias propagation.
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    narrow[target.id] = narrow[node.value.id]
+        elif (
+            isinstance(node.value, ast.Tuple)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Tuple)
+            and len(node.targets[0].elts) == len(node.value.elts)
+        ):
+            # memo, aux = np.zeros(..., dtype=np.int16), np.zeros(...)
+            # — tuple-unpacked intermediates used to slip through.
+            for target, value in zip(node.targets[0].elts, node.value.elts):
+                if not isinstance(target, ast.Name):
+                    continue
+                if isinstance(value, ast.Call):
+                    dtype = _narrow_dtype_of(value)
+                    if dtype is not None:
+                        narrow[target.id] = dtype
+                elif isinstance(value, ast.Name) and value.id in narrow:
+                    narrow[target.id] = narrow[value.id]
     for node in ast.walk(tree):
         if not (isinstance(node, ast.Call) and _is_lift_sink(node)):
             continue
@@ -532,13 +560,15 @@ def _check_dtype_smells(
             if dtype is not None:
                 findings.append(
                     Finding(
-                        "SPMD004",
+                        "DTYPE101",
                         path,
                         node.lineno,
                         node.col_offset,
                         f"array with dtype {dtype} flows into a lift-based "
                         "kernel — the segmented prefix-max lift (seg_id * "
-                        "stride, core/slices.py) can overflow it; use int64",
+                        "stride, core/slices.py) provably overflows it "
+                        "under the declared input bounds; use int64 "
+                        "(formerly SPMD004)",
                     )
                 )
                 break
@@ -549,13 +579,14 @@ def _check_dtype_smells(
                 if dtype is not None:
                     findings.append(
                         Finding(
-                            "SPMD004",
+                            "DTYPE101",
                             path,
                             node.lineno,
                             node.col_offset,
                             f"memo table created with dtype {dtype} — PRNA "
                             "and the batched kernels assume an int64-safe "
-                            "lift; use int64 or the per-slice engines",
+                            "lift; use int64 or the per-slice engines "
+                            "(formerly SPMD004)",
                         )
                     )
 

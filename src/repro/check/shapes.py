@@ -1,0 +1,144 @@
+"""Symbolic shape lattice for the numeric dataflow verifier.
+
+Array extents are abstracted as **dims**:
+
+* ``("const", n)`` — a statically known length;
+* ``("affine", root, offset)`` — ``root + offset`` for a symbolic root
+  (a scalar variable, a parameter, or the length of another array), so
+  ``np.empty(n)`` and ``np.empty(n + 1)`` share a root and differ by a
+  provable offset;
+* ``TOP_DIM`` — unknown.
+
+The SHAPE1xx rules only ever fire on **proven** incompatibilities:
+
+* two known constants that differ (and neither is the broadcastable 1);
+* the same symbolic root at different offsets — the off-by-one
+  boundary-column class of bugs the batched engine's wide layout invites
+  (``width = n_seg + total`` vs ``total``).
+
+Everything else — distinct roots, any top — is silently compatible, so
+analyzing code whose lengths the abstraction cannot relate (ragged
+repeats, data-dependent masks) produces no noise.
+
+The lattice also carries **side provenance** for the SHAPE101 memo-axis
+rule: every abstract array remembers whether it derives from S1-side
+data (``s1.*``, ``xs``/``k1s``) or S2-side data (``s2.*``, ``ys``/
+``k2s``/``los``/``his``), because the memo table's axis contract is
+``M[k1-side, k2-side]`` and a transposed ``np.ix_`` gather is invisible
+to pure length reasoning (both axes are often the same length).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TOP_DIM",
+    "const_dim",
+    "affine_dim",
+    "dim_offset",
+    "join_dim",
+    "broadcast_dim",
+    "provably_incompatible",
+    "describe_dim",
+    "side_of_name",
+]
+
+#: Unknown extent.
+TOP_DIM = ("top",)
+
+
+def const_dim(n: int):
+    """A statically known extent."""
+    return ("const", int(n))
+
+
+def affine_dim(root: str, offset: int = 0):
+    """The symbolic extent ``root + offset``."""
+    return ("affine", root, int(offset))
+
+
+def dim_offset(dim, delta: int):
+    """*dim* shifted by a known constant (``len + 1`` layouts)."""
+    if dim[0] == "const":
+        return ("const", dim[1] + delta)
+    if dim[0] == "affine":
+        return ("affine", dim[1], dim[2] + delta)
+    return TOP_DIM
+
+
+def join_dim(a, b):
+    """Lattice join: equal dims survive, anything else widens to top."""
+    return a if a == b else TOP_DIM
+
+
+def broadcast_dim(a, b):
+    """Result extent of elementwise ``a (op) b``.
+
+    A known dim wins over top (if the operation runs at all, the result
+    has the known extent); a broadcastable constant 1 yields the other
+    side.  Provably incompatible pairs are the caller's SHAPE102 — the
+    result here is still the non-1 side so analysis can continue.
+    """
+    if a == TOP_DIM:
+        return b
+    if b == TOP_DIM:
+        return a
+    if a == ("const", 1):
+        return b
+    if b == ("const", 1):
+        return a
+    return a if a == b else join_dim(a, b)
+
+
+def provably_incompatible(a, b) -> bool:
+    """Whether extents *a* and *b* can never match at runtime.
+
+    Proven only for: differing constants (neither the broadcastable 1),
+    a same-root affine pair at different offsets, or a known constant
+    against an affine dim whose offset alone already exceeds it is *not*
+    provable (the root is unknown) — so that case stays silent.
+    """
+    if a[0] == "const" and b[0] == "const":
+        return a[1] != b[1] and a[1] != 1 and b[1] != 1
+    if a[0] == "affine" and b[0] == "affine" and a[1] == b[1]:
+        return a[2] != b[2]
+    return False
+
+
+def describe_dim(dim) -> str:
+    """Human-readable form of a dim for finding messages."""
+    if dim[0] == "const":
+        return str(dim[1])
+    if dim[0] == "affine":
+        root, offset = dim[1], dim[2]
+        if offset == 0:
+            return root
+        return f"{root}{offset:+d}"
+    return "?"
+
+
+# ----------------------------------------------------------------------
+# Side provenance (S1 vs S2) for the memo-axis rule
+# ----------------------------------------------------------------------
+
+#: Name stems that seed side provenance by convention.  The kernel
+#: signatures throughout the tree use ``1``-suffixed names for the S1
+#: (row) side and ``2``-suffixed names for the S2 (column) side, plus the
+#: ``xs``/``ys`` endpoint pair; ``los``/``his`` are S2 arc-index ranges.
+_S1_NAMES = frozenset({"xs", "s1", "structure1"})
+_S2_NAMES = frozenset({"ys", "s2", "structure2", "los", "his", "arcs2"})
+
+
+def side_of_name(name: str) -> frozenset[str]:
+    """Side provenance implied by an identifier, possibly empty."""
+    base = name.lstrip("_")
+    if base in _S1_NAMES:
+        return frozenset({"s1"})
+    if base in _S2_NAMES:
+        return frozenset({"s2"})
+    has1 = "1" in base
+    has2 = "2" in base
+    if has1 and not has2:
+        return frozenset({"s1"})
+    if has2 and not has1:
+        return frozenset({"s2"})
+    return frozenset()

@@ -6,10 +6,14 @@ Used three ways, all sharing :func:`run_check`:
 * the ``repro-check`` console script
 * the ``repro-rna check`` subcommand
 
-The per-module rules (SPMD001-004, ARCH001) always run.  ``--protocol``
-adds the interprocedural protocol verifier (:mod:`repro.check.protocol`:
-SPMD1xx collective agreement, SPMD2xx cross-module tag matching, SCHED0xx
-schedule legality).  ``--cache`` makes re-runs over an unchanged tree
+The per-module rules (SPMD001-003, ARCH001, lexical DTYPE101) always
+run.  ``--protocol`` adds the interprocedural protocol verifier
+(:mod:`repro.check.protocol`: SPMD1xx collective agreement, SPMD2xx
+cross-module tag matching, SCHED0xx schedule legality).  ``--dataflow``
+adds the numeric dataflow verifier (:mod:`repro.check.dataflow` +
+:mod:`repro.check.costs`: DTYPE1xx interval-proven overflows, SHAPE1xx
+shape/axis incompatibilities, COST0xx cost-contract audits).
+``--cache`` makes re-runs over an unchanged tree
 near-instant (content-hash keyed, :mod:`repro.check.cache`), ``--sarif``
 writes a SARIF 2.1.0 log for GitHub code scanning, and
 ``--baseline``/``--update-baseline`` implement a ratchet: grandfathered
@@ -28,7 +32,13 @@ import json
 import os
 import sys
 
-from repro.check.findings import RULES, Finding, is_suppressed
+from repro.check.findings import (
+    DEPRECATED_RULES,
+    RULES,
+    RULESET_VERSION,
+    Finding,
+    is_suppressed,
+)
 from repro.check.rules import analyze_module
 
 __all__ = [
@@ -133,13 +143,15 @@ def analyze_project(
     paths: list[str],
     *,
     protocol: bool = False,
+    dataflow: bool = False,
     cache=None,
 ) -> tuple[list[Finding], int]:
     """All findings under *paths* with full project context.
 
     Per-module rules run with cross-module constants (SPMD002) and
     call-graph shm factories (SPMD003); *protocol* adds the
-    interprocedural SPMD1xx/SPMD2xx/SCHED0xx families.  *cache* is an
+    interprocedural SPMD1xx/SPMD2xx/SCHED0xx families; *dataflow* adds
+    the numeric DTYPE1xx/SHAPE1xx/COST0xx families.  *cache* is an
     optional :class:`repro.check.cache.CheckCache`.
     """
     files = _python_files(paths)
@@ -151,12 +163,17 @@ def analyze_project(
         shas[filename] = hashlib.sha256(data).hexdigest()
         sources[filename] = data.decode("utf-8")
 
-    flags = "protocol" if protocol else ""
+    # The enabled-rule-set version is part of the cache key: toggling a
+    # pass or changing the catalog must never replay stale verdicts.
+    flags = (
+        f"rules:{RULESET_VERSION}|protocol:{int(protocol)}"
+        f"|dataflow:{int(dataflow)}"
+    )
     if cache is not None:
         hit = cache.lookup_tree(shas, flags)
         if hit is not None:
-            per_file, proto = hit
-            findings = per_file + proto
+            per_file, proto, flow = hit
+            findings = per_file + proto + flow
             findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
             return findings, len(files)
 
@@ -205,10 +222,42 @@ def analyze_project(
             else:
                 proto_findings.append(finding)
 
-    if cache is not None:
-        cache.store(shas, project_sig, per_file, proto_findings, flags)
+    flow_findings: list[Finding] = []
+    if dataflow:
+        from repro.check.costs import analyze_costs
+        from repro.check.dataflow import analyze_dataflow
 
-    findings = [f for fs in per_file.values() for f in fs] + proto_findings
+        raw_flow = analyze_dataflow(trees, index=index)
+        raw_flow += analyze_costs(index)
+        # The lexical dtype rule and the dataflow pass can both prove the
+        # same DTYPE101 at the same call site; keep the per-file copy.
+        seen = {
+            (f.rule, f.path, f.line, f.col)
+            for fs in per_file.values()
+            for f in fs
+        }
+        for finding in raw_flow:
+            if (finding.rule, finding.path, finding.line,
+                    finding.col) in seen:
+                continue
+            if finding.path in sources:
+                lines = sources[finding.path].splitlines()
+                kept = _filter_noqa([finding], lines, trees[finding.path])
+                flow_findings.extend(kept)
+            else:
+                flow_findings.append(finding)
+
+    if cache is not None:
+        cache.store(
+            shas, project_sig, per_file, proto_findings, flags,
+            dataflow_findings=flow_findings,
+        )
+
+    findings = (
+        [f for fs in per_file.values() for f in fs]
+        + proto_findings
+        + flow_findings
+    )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, len(files)
 
@@ -320,6 +369,7 @@ def run_check(
     json_output: bool = False,
     stream=None,
     protocol: bool = False,
+    dataflow: bool = False,
     sarif_path: str | None = None,
     baseline_path: str | None = None,
     update_baseline: bool = False,
@@ -335,7 +385,7 @@ def run_check(
         cache = CheckCache(cache_path)
     try:
         findings, n_files = analyze_project(
-            paths, protocol=protocol, cache=cache
+            paths, protocol=protocol, dataflow=dataflow, cache=cache
         )
     except FileNotFoundError as exc:
         print(f"repro.check: no such path: {exc}", file=sys.stderr)
@@ -374,13 +424,16 @@ def run_check(
             "version": 1,
             "checked_files": n_files,
             "protocol": protocol,
+            "dataflow": dataflow,
             "findings": [finding.as_dict() for finding in findings],
         }
         print(json.dumps(payload, indent=2), file=stream)
     else:
         for finding in findings:
             print(finding.render(), file=stream)
-        mode = " (+protocol)" if protocol else ""
+        passes = [name for name, on in (("protocol", protocol),
+                                        ("dataflow", dataflow)) if on]
+        mode = f" (+{'+'.join(passes)})" if passes else ""
         summary = (
             f"repro.check: {len(findings)} finding(s) in {n_files} "
             f"file(s){mode}"
@@ -398,9 +451,10 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-check",
         description="SPMD static analysis for the PRNA stack "
-        "(per-module rules SPMD001-SPMD004/ARCH001, interprocedural "
-        "protocol rules SPMD1xx/SPMD2xx/SCHED0xx with --protocol; "
-        "see docs/static-analysis.md)",
+        "(per-module rules SPMD001-003/ARCH001/DTYPE101, interprocedural "
+        "protocol rules SPMD1xx/SPMD2xx/SCHED0xx with --protocol, "
+        "numeric dataflow rules DTYPE1xx/SHAPE1xx/COST0xx with "
+        "--dataflow; see docs/static-analysis.md)",
     )
     parser.add_argument(
         "paths", nargs="*",
@@ -414,6 +468,12 @@ def main(argv: list[str] | None = None) -> int:
         "--protocol", action="store_true",
         help="run the interprocedural protocol verifier (rank-symbolic "
         "communication schedules, deadlock and schedule-legality checks)",
+    )
+    parser.add_argument(
+        "--dataflow", action="store_true",
+        help="run the numeric dataflow verifier (interval/shape/dtype "
+        "abstract interpretation of the kernels plus cost-contract "
+        "audits against the planner's WorkModel degrees)",
     )
     parser.add_argument(
         "--sarif", metavar="PATH", dest="sarif_path",
@@ -440,12 +500,14 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule, summary in sorted(RULES.items()):
-            print(f"{rule}  {summary}")
+            tag = " [deprecated]" if rule in DEPRECATED_RULES else ""
+            print(f"{rule}{tag}  {summary}")
         return 0
     return run_check(
         args.paths or None,
         json_output=args.json_output,
         protocol=args.protocol,
+        dataflow=args.dataflow,
         sarif_path=args.sarif_path,
         baseline_path=args.baseline_path,
         update_baseline=args.update_baseline,

@@ -8,8 +8,9 @@ Subcommands:
 * ``simulate`` — simulated PRNA speedup for a structure/cluster;
 * ``trace-report FILE`` — per-rank compute/comm-wait/idle summary of a
   Chrome trace produced by ``--trace``;
-* ``check [PATHS]`` — SPMD static analysis (per-module rules SPMD001-004/
-  ARCH001 plus the ``--protocol`` interprocedural verifier, SARIF and
+* ``check [PATHS]`` — SPMD static analysis (per-module rules SPMD001-003/
+  ARCH001/DTYPE101 plus the ``--protocol`` and ``--dataflow``
+  interprocedural verifiers, SARIF and
   baseline modes; see ``docs/static-analysis.md``), same engine as
   ``python -m repro.check``;
 * ``experiments ...`` — forwards to ``python -m repro.experiments``.
@@ -271,16 +272,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check.findings import DEPRECATED_RULES
     from repro.check.static import RULES, run_check
 
     if args.list_rules:
         for rule, summary in sorted(RULES.items()):
-            print(f"{rule}  {summary}")
+            tag = " [deprecated]" if rule in DEPRECATED_RULES else ""
+            print(f"{rule}{tag}  {summary}")
         return 0
     return run_check(
         args.paths or None,
         json_output=args.json_output,
         protocol=args.protocol,
+        dataflow=args.dataflow,
         sarif_path=args.sarif_path,
         baseline_path=args.baseline_path,
         update_baseline=args.update_baseline,
@@ -418,7 +422,7 @@ def main(argv: list[str] | None = None) -> int:
     check = sub.add_parser(
         "check",
         help="SPMD static analysis of Python sources (per-module rules "
-        "plus the --protocol interprocedural verifier)",
+        "plus the --protocol and --dataflow interprocedural verifiers)",
     )
     check.add_argument(
         "paths", nargs="*", help="files or directories (default: src/repro)"
@@ -431,6 +435,11 @@ def main(argv: list[str] | None = None) -> int:
         "--protocol", action="store_true",
         help="run the interprocedural protocol verifier "
         "(SPMD1xx/SPMD2xx/SCHED0xx)",
+    )
+    check.add_argument(
+        "--dataflow", action="store_true",
+        help="run the numeric dataflow verifier "
+        "(DTYPE1xx/SHAPE1xx/COST0xx)",
     )
     check.add_argument(
         "--sarif", metavar="PATH", dest="sarif_path",

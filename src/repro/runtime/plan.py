@@ -36,6 +36,7 @@ from repro.runtime.registry import (
     AUTO,
     BATCH_ALGORITHMS,
     PARALLEL_ALGORITHMS,
+    cost_contract_for,
     engine_applies,
     validate_choice,
 )
@@ -148,11 +149,25 @@ class Plan:
         lines.extend(f"  - {reason}" for reason in self.rationale)
         return "\n".join(lines)
 
+    def cost_contract(self):
+        """The registry :class:`CostContract` of the chosen engine, if any."""
+        if self.engine is None:
+            return None
+        return cost_contract_for(f"engine:{self.engine}")
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form, embedded in every run record."""
         payload = asdict(self)
         payload["rationale"] = list(self.rationale)
         payload["explain"] = self.explain()
+        contract = self.cost_contract()
+        if contract is not None:
+            payload["cost_contract"] = {
+                "key": contract.key,
+                "entry": contract.entry,
+                "degree": contract.degree,
+                "polynomial": contract.polynomial,
+            }
         return payload
 
 
@@ -392,6 +407,13 @@ class Planner:
                 else "whole-row batches per outer arc"
             )
             rationale.append(f"engine auto -> {engine!r} ({why})")
+        contract = cost_contract_for(f"engine:{engine}")
+        if contract is not None:
+            rationale.append(
+                f"cost contract {contract.key}: degree {contract.degree}, "
+                f"{contract.polynomial} (statically audited by "
+                "repro.check --dataflow, COST001)"
+            )
         return engine
 
     def _choose_backend(

@@ -40,6 +40,11 @@ __all__ = [
     "ScheduleDeclaration",
     "declare_schedule",
     "executor_schedules",
+    "CostContract",
+    "declare_cost",
+    "kernel_costs",
+    "cost_contract_for",
+    "INPUT_BOUNDS",
     "engine_applies",
     "validate_choice",
 ]
@@ -173,6 +178,127 @@ declare_schedule(
         key="managerworker:row",
         entry="repro.parallel.managerworker.manager_worker_rank",
         publishes="row", order="right-endpoint",
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# Cost contracts and input bounds (audited by ``repro.check --dataflow``)
+# ----------------------------------------------------------------------
+
+#: Declared bounds on solver inputs.  These are *contracts*, not limits
+#: enforced at runtime: the numeric dataflow verifier
+#: (``repro.check --dataflow``, rule family DTYPE1xx) uses them to prove
+#: or refute dtype-overflow claims about the kernels — e.g. that the
+#: batched engine's segmented prefix-max lift (``seg_id * stride``,
+#: :mod:`repro.core.slices`) stays far below the int64 limit for every
+#: input satisfying these bounds, while provably overflowing any
+#: sub-64-bit integer dtype.
+INPUT_BOUNDS: dict[str, int] = {
+    # Longest supported sequence (positions per structure).
+    "max_length": 1 << 20,
+    # Arcs per structure; a structure cannot have more arcs than half its
+    # length, but the bound is kept independent so the overflow proofs do
+    # not rely on that invariant.
+    "max_arcs": 1 << 19,
+    # Largest attainable slice/memo value: one point per matched arc pair,
+    # so it is bounded by the arc count.
+    "max_value": 1 << 19,
+}
+
+
+@dataclass(frozen=True)
+class CostContract:
+    """A kernel's declared asymptotic cost, statically audited.
+
+    The planner's :class:`~repro.perf.model.WorkModel` prices stage one at
+    ``seconds_per_cell * inside1 * inside2`` — a **degree-2** model per
+    slice (rows x columns).  Those degrees used to be hand-asserted
+    constants; a contract pins them to a specific kernel entry point and
+    ``repro.check --dataflow`` (rule family COST0xx) extracts each
+    kernel's actual loop-nest/vector-op degree from the AST and refutes
+    any declaration that disagrees, so an accidental ``O(n^3)`` rewrite of
+    a kernel fails the static pass instead of silently invalidating every
+    plan the cost model produces.
+
+    ``key``
+        ``"engine:<name>"`` for the per-slice engines in
+        :data:`ENGINE_NAMES` (every engine must carry one — COST002
+        otherwise), or ``"kernel:<name>"`` for internal kernels worth
+        auditing on their own.
+    ``entry``
+        Dotted name of the audited function.  For the batched engine the
+        contract sits on the segmented kernel, not the chunked batch
+        driver — the driver's chunk loop re-walks columns and would
+        extract as an extra degree even though its *amortized* work is
+        the declared polynomial.
+    ``degree``
+        Asymptotic degree in the slice dimensions (rows/columns); must
+        equal the statically extracted degree (COST001 otherwise).
+    ``polynomial``
+        Human-readable cost polynomial, serialized into
+        ``plan.explain()`` so a plan's cost assumptions are auditable.
+    """
+
+    key: str
+    entry: str
+    degree: int
+    polynomial: str
+
+
+_COSTS: dict[str, CostContract] = {}
+
+
+def declare_cost(contract: CostContract) -> CostContract:
+    """Register a kernel cost contract for COST checks."""
+    _COSTS[contract.key] = contract
+    return contract
+
+
+def kernel_costs() -> tuple[CostContract, ...]:
+    """Every declared cost contract, in registration order."""
+    return tuple(_COSTS.values())
+
+
+def cost_contract_for(key: str) -> CostContract | None:
+    """The contract registered under *key* (``"engine:batched"``), if any."""
+    return _COSTS.get(key)
+
+
+# The shipped kernels' contracts.  All per-slice engines are degree 2 in
+# the slice dimensions (the WorkModel's seconds_per_cell * rows * cols);
+# the batched engine's contract lives on ``_segmented_tabulate`` because
+# the public driver only adds chunking around it.
+declare_cost(
+    CostContract(
+        key="engine:python",
+        entry="repro.core.slices.tabulate_slice_python",
+        degree=2,
+        polynomial="n_rows * n_cols",
+    )
+)
+declare_cost(
+    CostContract(
+        key="engine:vectorized",
+        entry="repro.core.slices.tabulate_slice_vectorized",
+        degree=2,
+        polynomial="n_rows * n_cols (one 2-D memo gather + 4 row kernels)",
+    )
+)
+declare_cost(
+    CostContract(
+        key="engine:batched",
+        entry="repro.core.slices.tabulate_slice_batched",
+        degree=2,
+        polynomial="n_rows * n_cols (batch of one; segmented lift)",
+    )
+)
+declare_cost(
+    CostContract(
+        key="kernel:segmented",
+        entry="repro.core.slices._segmented_tabulate",
+        degree=2,
+        polynomial="n_rows * width (width = n_seg + total columns)",
     )
 )
 

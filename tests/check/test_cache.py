@@ -39,9 +39,9 @@ FAULTY = {
 }
 
 
-def run(tree, cache=None, protocol=False):
+def run(tree, cache=None, protocol=False, dataflow=False):
     findings, n_files = analyze_project([tree], protocol=protocol,
-                                        cache=cache)
+                                        dataflow=dataflow, cache=cache)
     return [f.as_dict() for f in findings], n_files
 
 
@@ -141,6 +141,59 @@ class TestInvalidation:
         (tmp_path / "pkg" / "tags.py").write_text("TAG = 8\n")
         stale, _ = run(tree, CheckCache(cache.cache_path))
         assert [f["rule"] for f in stale] == ["SPMD002"]
+
+    def test_dataflow_flag_partitions_the_cache(self, tmp_path):
+        # A cache written without --dataflow must not satisfy a run that
+        # wants it: the enabled rule set is part of the tree key.
+        tree = write_tree(
+            tmp_path,
+            {
+                "core/slices.py": """
+                    import numpy as np
+
+                    def tabulate_slice_batched(values):
+                        return values
+
+                    def driver(n):
+                        memo = np.zeros((n, n), dtype=np.int16)
+                        return tabulate_slice_batched(memo)
+                """
+            },
+        )
+        cache = CheckCache(str(tmp_path / "cache.json"))
+        plain, _ = run(tree, cache, dataflow=False)
+        with_flow, _ = run(
+            tree, CheckCache(cache.cache_path), dataflow=True
+        )
+        # The lexical DTYPE101 fires either way (memo -> sink directly);
+        # the dataflow run must re-analyze, not replay the plain verdict.
+        assert [f["rule"] for f in plain] == ["DTYPE101"]
+        assert [f["rule"] for f in with_flow] == ["DTYPE101"]
+        rerun_cache = CheckCache(cache.cache_path)
+        rerun, _ = run(tree, rerun_cache, dataflow=True)
+        assert rerun == with_flow
+
+    def test_ruleset_version_salts_tree_key(self, tmp_path):
+        # Simulate a rule-catalog change by rewriting the stored tree_sha
+        # under a different flags string: the reload must miss.
+        from repro.check.cache import CheckCache as Cache
+
+        tree = write_tree(tmp_path, FAULTY)
+        cache = Cache(str(tmp_path / "cache.json"))
+        run(tree, cache)
+        import hashlib
+
+        shas = {}
+        for name in FAULTY:
+            data = (tmp_path / name).read_bytes()
+            shas[str(tmp_path / name)] = hashlib.sha256(data).hexdigest()
+        from repro.check.findings import RULESET_VERSION
+
+        current = f"rules:{RULESET_VERSION}|protocol:0|dataflow:0"
+        stale = "rules:000000000000|protocol:0|dataflow:0"
+        reloaded = Cache(cache.cache_path)
+        assert reloaded.lookup_tree(shas, current) is not None
+        assert reloaded.lookup_tree(shas, stale) is None
 
     def test_version_bump_discards_cache(self, tmp_path):
         tree = write_tree(tmp_path, FAULTY)

@@ -18,6 +18,21 @@ P3. divergent reduction operator           -> SPMD102 / SAN102
 P4. rank-dependent collective trip count   -> SPMD103 / SAN103
 P5. swapped cross-module tag constants     -> SPMD201+SPMD202 / SAN104
 P6. illegal executor publication order     -> SCHED001 / SAN203
+
+And the seeded *numeric* bugs for ``--dataflow`` — value-range, shape,
+and cost faults the SPMD rules cannot see (``TestDataflowFaults``).
+Where the fault is runnable its runtime consequence is demonstrated in
+the same test: numpy integer overflow **wraps silently**, so the only
+runtime symptom is a wrong answer (a parity break against the int64
+ground truth), which is exactly why the static proof matters:
+
+D1. int16 memo via tuple unpack + alias   -> DTYPE101 / silent wrap
+D2. 17-bit pack into a uint16 word        -> DTYPE102 / bit 16 lost
+D3. transposed memo ``np.ix_`` gather     -> SHAPE101 / wrong cells
+D4. mis-declared cost-contract degree     -> COST001  (no runtime crash)
+D5. ``np.take`` out= off-by-one           -> SHAPE103 / ValueError
+D6. lossy cast of a bounded prefix sum    -> DTYPE103 / silent wrap
+D7. scatter length mismatch               -> SHAPE103 / ValueError
 """
 
 import ast
@@ -27,13 +42,16 @@ import numpy as np
 import pytest
 
 from repro.check import analyze_source
+from repro.check.callgraph import ProjectIndex
+from repro.check.costs import analyze_costs
+from repro.check.dataflow import analyze_dataflow
 from repro.check.protocol import analyze_protocol, check_declared_schedules
 from repro.check.sanitizer import SanitizedCommunicator
 from repro.core.memo import DenseMemoTable
 from repro.errors import SanitizerError
 from repro.mpi.communicator import ReduceOp
 from repro.mpi.inprocess import run_threaded
-from repro.runtime.registry import ScheduleDeclaration
+from repro.runtime.registry import CostContract, ScheduleDeclaration
 
 
 def sanitized(comm, timeout=2.0):
@@ -418,3 +436,218 @@ class TestProtocolFaults:
         )
         verdicts = [v for _, v, _ in check_declared_schedules([good])]
         assert verdicts == ["ok"]
+
+
+# ----------------------------------------------------------------------
+# Seeded numeric dataflow faults (interval/shape/cost, ``--dataflow``)
+# ----------------------------------------------------------------------
+def flow(source: str, path: str = "src/fault/core/slices.py"):
+    tree = ast.parse(textwrap.dedent(source), filename=path)
+    return analyze_dataflow({path: tree})
+
+
+class TestDataflowFaults:
+    """Each seeded numeric bug: static rule ID + its runtime consequence.
+
+    The runtime halves run the *same arithmetic* the static snippet
+    describes, at concrete sizes small enough for the test suite but
+    large enough to overflow the narrow dtype.  Where numpy raises
+    (shape mismatches) we assert the exception; where it silently wraps
+    (integer overflow) we assert the parity break against int64 — the
+    failure mode that makes DTYPE101/102/103 worth proving statically.
+    """
+
+    # -- D1: int16 memo reaches the lift sink via tuple unpack + alias --
+    def test_d1_narrow_memo_static(self):
+        source = """
+            import numpy as np
+
+            def tabulate_slice_batched(values):
+                return values
+
+            def driver(n):
+                memo, scratch = np.zeros((n, n), dtype=np.int16), np.zeros(4)
+                table = memo
+                return tabulate_slice_batched(table)
+            """
+        assert "DTYPE101" in {f.rule for f in flow(source)}
+        # The lexical form (with the tuple-unpack false negative fixed)
+        # reaches the same verdict without running the interpreter.
+        lexical = analyze_source(textwrap.dedent(source))
+        assert "DTYPE101" in {f.rule for f in lexical}
+
+    def test_d1_runtime_parity_break(self):
+        # A miniature of the segmented lift: seg_id * stride + value with
+        # stride = vmax * n_rows + 1 = 25 * 40 + 1.  39 * 1001 overflows
+        # int16 and numpy wraps without a peep.
+        stride = 1001
+        seg = np.arange(40)
+        vals = seg % 7
+        wide = seg.astype(np.int64) * stride + vals
+        narrow = seg.astype(np.int16) * np.int16(stride) + vals.astype(
+            np.int16
+        )
+        assert wide.max() == 39 * stride + 4
+        assert not np.array_equal(wide, narrow.astype(np.int64))
+        assert narrow.max() < wide.max()  # the wrapped lift loses the max
+
+    # -- D2: packing 17 flag bits into a 16-bit word --
+    def test_d2_packed_word_width_static(self):
+        findings = flow(
+            """
+            import numpy as np
+
+            def pack_flags(n):
+                packed = np.zeros(n, dtype=np.uint16)
+                ones = np.ones(n, dtype=np.uint16)
+                for k in range(17):
+                    packed |= ones << k
+                return packed
+            """
+        )
+        assert [f.rule for f in findings] == ["DTYPE102"]
+
+    def test_d2_runtime_bit_sixteen_lost(self):
+        wide = np.left_shift(np.ones(17, dtype=np.int64), np.arange(17))
+        narrow = wide.astype(np.uint16)
+        assert wide[16] == 1 << 16
+        assert narrow[16] == 0  # wrapped: the 17th flag silently vanishes
+        assert not np.array_equal(wide, narrow.astype(np.int64))
+
+    # -- D3: memo gathered with the axes transposed --
+    def test_d3_transposed_gather_static(self):
+        findings = flow(
+            """
+            import numpy as np
+
+            def tabulate_gather(memo_values, k1s, k2s):
+                return memo_values[np.ix_(k2s, k1s)]
+            """
+        )
+        assert [f.rule for f in findings] == ["SHAPE101"]
+
+    def test_d3_runtime_wrong_cells(self):
+        # Both gathers are the same shape — only the *values* betray the
+        # transposition, which is why length reasoning can't catch it and
+        # SHAPE101 tracks side provenance instead.
+        memo = np.arange(16).reshape(4, 4)
+        k1s, k2s = np.array([0, 1]), np.array([2, 3])
+        good = memo[np.ix_(k1s, k2s)]
+        bad = memo[np.ix_(k2s, k1s)]
+        assert good.shape == bad.shape
+        assert not np.array_equal(good, bad)
+
+    # -- D4: cost contract declares the wrong polynomial degree --
+    def test_d4_misdeclared_degree_static(self):
+        # No runtime half: a mispriced kernel runs fine, it just makes
+        # the Planner's rationale a lie — only the audit catches it.
+        path = "src/fault/kern.py"
+        tree = ast.parse(
+            textwrap.dedent(
+                """
+                import numpy as np
+
+                def kernel(n):
+                    out = np.zeros((n, n))
+                    return out + 1
+                """
+            ),
+            filename=path,
+        )
+        bad = CostContract(key="kernel:k", entry="fault.kern.kernel",
+                           degree=1, polynomial="n")
+        findings = analyze_costs(ProjectIndex({path: tree}),
+                                 declarations=[bad])
+        assert [f.rule for f in findings] == ["COST001"]
+
+    # -- D5: gather with a preallocated out= one element too long --
+    def test_d5_take_out_mismatch_static(self):
+        findings = flow(
+            """
+            import numpy as np
+
+            def lift_cols(src, idx_len):
+                out = np.empty(idx_len + 1, dtype=np.int64)
+                rows = np.empty(idx_len, dtype=np.int64)
+                np.take(src, rows, out=out)
+                return out
+            """
+        )
+        assert [f.rule for f in findings] == ["SHAPE103"]
+
+    def test_d5_runtime_raises(self):
+        src = np.arange(8)
+        rows = np.arange(5)
+        out = np.empty(6, dtype=src.dtype)
+        with pytest.raises(ValueError):
+            np.take(src, rows, out=out)
+
+    # -- D6: bounded prefix sum cast down to int16 --
+    def test_d6_lossy_prefix_cast_static(self):
+        findings = flow(
+            """
+            import numpy as np
+
+            def lift_prefix(n):
+                gains = np.ones(n, dtype=np.int64)
+                total = np.cumsum(gains)
+                return total.astype(np.int16)
+            """
+        )
+        assert [f.rule for f in findings] == ["DTYPE103"]
+
+    def test_d6_runtime_parity_break(self):
+        # 40000 unit gains: the true prefix sum tops out at 40000, the
+        # int16 copy wraps past 32767 — silently.
+        prefix = np.cumsum(np.ones(40000, dtype=np.int64))
+        narrow = prefix.astype(np.int16)
+        assert prefix[-1] == 40000
+        assert narrow[-1] != 40000
+        assert not np.array_equal(prefix, narrow.astype(np.int64))
+
+    # -- D7: scatter whose source is longer than its index --
+    def test_d7_scatter_mismatch_static(self):
+        findings = flow(
+            """
+            import numpy as np
+
+            def lift_scatter(n):
+                dest = np.zeros(n + 4)
+                idx = np.arange(n)
+                src = np.zeros(n + 1)
+                dest[idx] = src
+                return dest
+            """
+        )
+        assert [f.rule for f in findings] == ["SHAPE103"]
+
+    def test_d7_runtime_raises(self):
+        dest = np.zeros(10)
+        idx = np.arange(6)
+        src = np.zeros(7)
+        with pytest.raises(ValueError):
+            dest[idx] = src
+
+    # -- sanity: the corrected counterparts are silent --
+    def test_clean_counterparts_produce_no_findings(self):
+        assert flow(
+            """
+            import numpy as np
+
+            def tabulate_slice_batched(values):
+                return values
+
+            def driver(n):
+                memo, scratch = np.zeros((n, n), dtype=np.int64), np.zeros(4)
+                table = memo
+                return tabulate_slice_batched(table)
+            """
+        ) == []
+        assert flow(
+            """
+            import numpy as np
+
+            def tabulate_gather(memo_values, k1s, k2s):
+                return memo_values[np.ix_(k1s, k2s)]
+            """
+        ) == []

@@ -245,7 +245,9 @@ class TestSPMD003:
         assert findings == []
 
 
-class TestSPMD004:
+class TestLexicalDTYPE101:
+    # Formerly SPMD004 — the rule now reports under its semantic
+    # replacement's ID, and `# noqa: SPMD004` keeps suppressing it.
     def test_narrow_array_into_lift_kernel(self):
         findings = check(
             """
@@ -255,7 +257,7 @@ class TestSPMD004:
                 return tabulate_slice_batched(values, s1, s2, 1, 2, None)
             """
         )
-        assert rules_of(findings) == ["SPMD004"]
+        assert rules_of(findings) == ["DTYPE101"]
         assert "int32" in findings[0].message
 
     def test_narrow_memo_table_dtype(self):
@@ -266,7 +268,33 @@ class TestSPMD004:
                 return DenseMemoTable(4, 4, dtype=np.int16)
             """
         )
-        assert rules_of(findings) == ["SPMD004"]
+        assert rules_of(findings) == ["DTYPE101"]
+
+    def test_tuple_unpacked_intermediate_flagged(self):
+        # The false negative the dataflow PR fixed: a narrow array bound
+        # through tuple unpacking used to slip past the alias map.
+        findings = check(
+            """
+            import numpy as np
+            def fn(s1, s2):
+                memo, aux = np.zeros((4, 4), dtype=np.int16), np.zeros(4)
+                table = memo
+                return tabulate_slice_batched(table, s1, s2, 1, 2, None)
+            """
+        )
+        assert rules_of(findings) == ["DTYPE101"]
+        assert "int16" in findings[0].message
+
+    def test_legacy_noqa_token_still_suppresses(self):
+        findings = check(
+            """
+            import numpy as np
+            def fn(s1, s2):
+                values = np.zeros((4, 4), dtype=np.int32)
+                return tabulate_slice_batched(values, s1, s2, 1, 2, None)  # noqa: SPMD004
+            """
+        )
+        assert findings == []
 
     def test_int64_clean(self):
         findings = check(
@@ -381,6 +409,15 @@ class TestSuppression:
         assert is_suppressed("SPMD004", line)
         assert not is_suppressed("SPMD002", line)
 
+    def test_deprecated_alias_covers_canonical_rule(self):
+        # `# noqa: SPMD004` predates the DTYPE101 rename; it must keep
+        # suppressing the canonical rule so deprecation never
+        # un-suppresses existing code.
+        line = "t = make_table()  # noqa: SPMD004"
+        assert is_suppressed("DTYPE101", line)
+        assert not is_suppressed("DTYPE102", line)
+        assert not is_suppressed("SPMD001", line)
+
     def test_noqa_filters_findings(self):
         findings = check(
             """
@@ -395,7 +432,7 @@ class TestSuppression:
 class TestDriver:
     def test_rule_catalog_complete(self):
         assert set(RULES) == {
-            # Per-module lexical rules.
+            # Per-module lexical rules (SPMD004 is a deprecated alias).
             "SPMD001",
             "SPMD002",
             "SPMD003",
@@ -410,6 +447,15 @@ class TestDriver:
             "SCHED001",
             "SCHED002",
             "SCHED003",
+            # Numeric dataflow rules (--dataflow).
+            "DTYPE101",
+            "DTYPE102",
+            "DTYPE103",
+            "SHAPE101",
+            "SHAPE102",
+            "SHAPE103",
+            "COST001",
+            "COST002",
             # Ratchet bookkeeping.
             "BASE001",
         }

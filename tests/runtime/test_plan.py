@@ -124,6 +124,35 @@ class TestPlanObject:
         assert payload["explain"] == plan.explain()
         json.dumps(payload)  # must not raise
 
+    def test_cost_contract_attached_and_serialized(self, planner, small):
+        # Every engine the planner can choose carries a statically
+        # audited CostContract (repro.check --dataflow, COST001), and the
+        # plan serializes it for downstream tooling.
+        plan = planner.plan(small, small)
+        contract = plan.cost_contract()
+        assert contract is not None
+        assert contract.key == f"engine:{plan.engine}"
+        payload = plan.to_dict()
+        assert payload["cost_contract"] == {
+            "key": contract.key,
+            "entry": contract.entry,
+            "degree": contract.degree,
+            "polynomial": contract.polynomial,
+        }
+
+    def test_cost_contract_cited_in_rationale(self, planner, large):
+        plan = planner.plan(large, large)
+        assert any(
+            "cost contract" in reason and "statically audited" in reason
+            for reason in plan.rationale
+        )
+        assert "cost contract" in plan.explain()
+
+    def test_engineless_plan_has_no_contract(self, planner, small):
+        plan = planner.plan(small, small, algorithm="topdown")
+        assert plan.cost_contract() is None
+        assert "cost_contract" not in plan.to_dict()
+
     def test_memory_budget_noted_when_exceeded(self, large):
         hints = ResourceHints(max_ranks=8, memory_bytes=1024)
         plan = Planner(hints).plan(large, large)
