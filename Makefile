@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-quick bench-smoke experiments verify trace-demo sanitize-demo plan-demo lint check-protocol check-dataflow examples coverage clean
+.PHONY: install test bench bench-quick bench-smoke bench-dataflow calibrate experiments verify trace-demo sanitize-demo plan-demo lint check-protocol check-dataflow examples coverage clean
 
 install:
 	$(PYTHON) -m pip install -e . --no-build-isolation
@@ -23,6 +23,23 @@ bench-smoke:
 	-$(PYTHON) benchmarks/bench_quick.py --length 120 --repeat 1 \
 		--skip-prna --out BENCH_smoke.json
 	@rm -f BENCH_smoke.json
+
+# Row-barrier vs dataflow schedule counters only (non-gating in verify:
+# the counters are deterministic, but a non-POSIX host skips it).  The
+# gated full version runs inside bench-quick.
+bench-dataflow:
+	-$(PYTHON) benchmarks/bench_quick.py --only-schedules \
+		--out BENCH_dataflow.json
+	@rm -f BENCH_dataflow.json
+
+# Measure on-node communication/compute costs over the real process
+# backend and write CALIBRATION.json — the spec the planner prefers over
+# its built-in defaults when pricing schedules (git-ignored: the record
+# is machine-specific by construction).  Invoked via -c rather than -m:
+# repro.perf re-exports this module, so runpy would warn about the
+# double import.
+calibrate:
+	PYTHONPATH=src $(PYTHON) -c "from repro.perf.calibrate import main; raise SystemExit(main())"
 
 experiments:
 	$(PYTHON) -m repro.experiments all --scale quick --json results.json
@@ -63,7 +80,7 @@ sanitize-demo:
 plan-demo:
 	PYTHONPATH=src $(PYTHON) -m repro.runtime.demo
 
-verify: lint check-protocol check-dataflow trace-demo bench-smoke sanitize-demo plan-demo
+verify: lint check-protocol check-dataflow trace-demo bench-smoke bench-dataflow calibrate sanitize-demo plan-demo
 	PYTHONPATH=src $(PYTHON) -m repro.experiments verify
 
 # Tiny traced PRNA run: emits a Chrome trace (one track per rank),

@@ -47,6 +47,8 @@ __all__ = [
     "CollectiveEvent",
     "SendEvent",
     "RecvEvent",
+    "PublishEvent",
+    "AwaitEvent",
     "Branch",
     "Loop",
     "Schedule",
@@ -160,6 +162,45 @@ class RecvEvent(_Located):
 
 
 @dataclass(frozen=True)
+class PublishEvent(_Located):
+    """A non-blocking coalesced cell publication (``comm.Publish``).
+
+    Publications are one-sided and asynchronous: they never participate
+    in :func:`collective_view` (a rank-asymmetric publication pattern is
+    legitimate — producers publish, consumers await) and never join the
+    SPMD2xx tag pool (the publication transport owns a reserved tag).
+    Their legality is judged against the recurrence's dependency
+    structure by the SCHED0xx rules instead.
+    """
+
+    key: Value = (TOP, None)
+    dest: Value = (TOP, None)
+
+    def describe(self) -> str:
+        """Human-readable event label for diagnostics."""
+        return f"publish(key={render_value(self.key)})"
+
+
+@dataclass(frozen=True)
+class AwaitEvent(_Located):
+    """A blocking claim of published cells (``comm.Await``).
+
+    Like :class:`PublishEvent` this is excluded from the collective
+    skeleton: only the ranks whose wait-set is non-empty block, by
+    design.  Deadlock freedom comes from the substrate's
+    flush-before-block rule plus the SCHED0xx publication-order proof,
+    not from cross-rank schedule equality.
+    """
+
+    keys: Value = (TOP, None)
+    source: Value = (TOP, None)
+
+    def describe(self) -> str:
+        """Human-readable event label for diagnostics."""
+        return f"await(keys={render_value(self.keys)})"
+
+
+@dataclass(frozen=True)
 class Branch(_Located):
     """A conditional kept in the schedule (uniform or rank-undecidable)."""
 
@@ -178,7 +219,10 @@ class Loop(_Located):
     body: "Schedule" = field(default_factory=lambda: Schedule())
 
 
-Node = Union[CollectiveEvent, SendEvent, RecvEvent, Branch, Loop]
+Node = Union[
+    CollectiveEvent, SendEvent, RecvEvent, PublishEvent, AwaitEvent,
+    Branch, Loop,
+]
 
 
 @dataclass

@@ -10,8 +10,13 @@ and any executor entry declared in :mod:`repro.runtime.registry`) the
 analyzer interprets the body once per abstract rank (``rank == 0`` and a
 symbolic non-zero rank), inlining calls through the
 :class:`~repro.check.callgraph.ProjectIndex`, and extracts a
-**communication schedule** — an ordered tree of collective/send/recv
-events with tag/op/root lattice values (:mod:`repro.check.lattice`).
+**communication schedule** — an ordered tree of collective/send/recv/
+publish/await events with tag/op/root lattice values
+(:mod:`repro.check.lattice`).  ``Publish``/``Await`` — the dataflow
+executor's one-sided substrate — appear in the tree but are excluded
+from both the collective skeleton and the tag pool: producer/consumer
+asymmetry is the dependency-driven schedule working as designed, and its
+legality is what the SCHED0xx rules prove instead.
 
 Rule families over the schedules:
 
@@ -47,11 +52,13 @@ from repro.check.findings import Finding
 from repro.check.lattice import (
     ABSTRACT_RANKS,
     AbstractRank,
+    AwaitEvent,
     Branch,
     CollectiveEvent,
     CONST,
     EXPR,
     Loop,
+    PublishEvent,
     RecvEvent,
     Schedule,
     SendEvent,
@@ -336,6 +343,17 @@ class _Interpreter:
             name = func.attr
             root = _receiver_root(func)
             if root not in _NON_COMM_ROOTS:
+                if name == "Publish":
+                    out.append(self._publish_event(call, state))
+                    return
+                if name == "Await":
+                    out.append(self._await_event(call, state))
+                    return
+                if name == "flush_publications":
+                    # Transport-level flush of cells already buffered by
+                    # Publish: the Publish that queued each cell is the
+                    # schedule event, the flush carries no new ones.
+                    return
                 if name in COLLECTIVES:
                     out.append(self._collective_event(call, name, state))
                     return
@@ -401,6 +419,44 @@ class _Interpreter:
         if any(isinstance(sub, ast.Call) for sub in ast.walk(node)):
             return (TOP, None)
         return (EXPR, _safe_unparse(node))
+
+    def _publish_event(
+        self, call: ast.Call, state: _FrameState
+    ) -> PublishEvent:
+        """``comm.Publish(key, payload, dest, ...)`` as a schedule node.
+
+        Publications are one-sided: they join the schedule tree (so the
+        SCHED rules and trace tooling can see them) but neither the
+        collective skeleton nor the SPMD2xx tag pool — asymmetry between
+        producing and consuming ranks is the schedule working as designed.
+        """
+        key = self._meta_value(call.args[0], state) if call.args else (TOP,
+                                                                       None)
+        dest = (TOP, None)
+        if len(call.args) > 2:
+            dest = self._meta_value(call.args[2], state)
+        for keyword in call.keywords:
+            if keyword.arg == "dest":
+                dest = self._meta_value(keyword.value, state)
+        return PublishEvent(
+            state.module.path, call.lineno, call.col_offset,
+            key=key, dest=dest,
+        )
+
+    def _await_event(self, call: ast.Call, state: _FrameState) -> AwaitEvent:
+        """``comm.Await(keys, source)`` as a schedule node."""
+        keys = self._meta_value(call.args[0], state) if call.args else (TOP,
+                                                                        None)
+        source = (TOP, None)
+        if len(call.args) > 1:
+            source = self._meta_value(call.args[1], state)
+        for keyword in call.keywords:
+            if keyword.arg == "source":
+                source = self._meta_value(keyword.value, state)
+        return AwaitEvent(
+            state.module.path, call.lineno, call.col_offset,
+            keys=keys, source=source,
+        )
 
     def _p2p_event(self, cls, call: ast.Call, name: str, state: _FrameState):
         methods = _SEND_METHODS if cls is SendEvent else _RECV_METHODS

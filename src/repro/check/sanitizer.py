@@ -29,7 +29,19 @@ SAN104    sanitized ``recv`` timed out (mismatched send/recv tags)
 SAN201    cross-rank write/write overlap in the Allreduce window
 SAN202    write outside the rank's owned partition
 SAN203    read of a cell a peer wrote in the same window
+SAN204    publication with a key outside the declared schedule
+SAN205    publication order violates the declared dependency order
 ========  ==========================================================
+
+The dataflow executor's one-sided substrate is sanitized too: the
+executor hands over its derived plan via
+:meth:`SanitizedCommunicator.declare_publication_schedule`, and every
+subsequent ``Publish`` is validated *locally* against it — stray keys
+(SAN204) and dependencies published after their readers (SAN205) raise
+at the offending call site with zero extra traffic, while a sanitized
+``Await`` polls with the deadline so an absent publication becomes a
+SAN104 diagnostic instead of a hang.  This is the runtime twin of the
+static SCHED001–003 proof in :mod:`repro.check.protocol`.
 
 The wrapper is **result-transparent**: it validates and then delegates,
 so sanitized runs are bit-identical to plain ones (asserted by tests),
@@ -49,7 +61,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.errors import CommunicatorError, SanitizerError
-from repro.mpi.communicator import Communicator, ReduceOp
+from repro.mpi.communicator import _PUBLISH_TAG, Communicator, ReduceOp
 
 __all__ = ["SanitizedCommunicator", "SanitizedMemoTable"]
 
@@ -178,6 +190,8 @@ class SanitizedCommunicator(Communicator):
         self._seq = 0
         self._guards: list[_MemoGuard] = []
         self._polling_ok = True
+        self._pub_schedule: dict | None = None
+        self._published_arcs: set[int] = set()
         self.stats = inner.stats
 
     # -- plumbing delegation ----------------------------------------------
@@ -254,6 +268,123 @@ class SanitizedCommunicator(Communicator):
                     f"tag={tag}) timed out after {self._timeout:.1f}s at "
                     f"{_call_site()} — no matching send arrived (swapped "
                     "or mismatched send/recv tags?)"
+                )
+            time.sleep(self._POLL_SECONDS)
+
+    # -- publications (dataflow substrate) ----------------------------------
+    def declare_publication_schedule(
+        self,
+        *,
+        row_of_arc,
+        dep_lo,
+        dep_hi,
+        expected_installs: int = 0,
+    ) -> None:
+        """Arm publication validation with the executor's derived plan.
+
+        The dataflow executor calls this (when present — the hook is
+        looked up with ``getattr``) before its arc loop, handing over the
+        arc→row map and the ``inner_ranges`` dependency bounds its
+        :class:`~repro.parallel.dataflow.DataflowPlan` derived.  Every
+        subsequent :meth:`Publish` is then checked **locally** against
+        the declared right-endpoint schedule: the check needs no
+        cross-rank rendezvous because the legality invariant —
+        dependencies publish strictly before their readers — is a
+        property of each rank's own publication stream.
+        """
+        self._pub_schedule = {
+            "row_of_arc": np.asarray(row_of_arc, dtype=np.int64),
+            "dep_lo": np.asarray(dep_lo, dtype=np.int64),
+            "dep_hi": np.asarray(dep_hi, dtype=np.int64),
+            "expected_installs": int(expected_installs),
+        }
+        self._published_arcs = set()
+
+    def Publish(
+        self, key: Any, payload: Any, dest: int, *, urgent: bool = False
+    ) -> None:
+        """Validated publication: checked against the declared schedule
+        (SAN204/SAN205) before the cells are buffered for coalescing."""
+        self._validate_publication(key)
+        super().Publish(key, payload, dest, urgent=urgent)
+
+    def _validate_publication(self, key: Any) -> None:
+        schedule = self._pub_schedule
+        if schedule is None:
+            return
+        start = time.perf_counter()
+        dep_lo, dep_hi = schedule["dep_lo"], schedule["dep_hi"]
+        kind, index = (
+            key if isinstance(key, tuple) and len(key) == 2 else (None, None)
+        )
+        if kind == "final":
+            # Consolidation block: legal once the arc loop is done, and
+            # only for this rank's own owned block.
+            if index != self._rank:
+                raise SanitizerError(
+                    f"SAN204: rank {self._rank} published consolidation "
+                    f"block {key!r} for a block it does not own at "
+                    f"{_call_site()}"
+                )
+        elif kind != "row" or not 0 <= int(index) < len(dep_lo):
+            raise SanitizerError(
+                f"SAN204: rank {self._rank} published stray key {key!r} — "
+                "not a cell the declared dataflow schedule ever publishes "
+                f"(at {_call_site()})"
+            )
+        else:
+            arc = int(index)
+            missing = [
+                d
+                for d in range(int(dep_lo[arc]), int(dep_hi[arc]))
+                if d not in self._published_arcs
+            ]
+            if missing:
+                row = int(schedule["row_of_arc"][arc])
+                raise SanitizerError(
+                    f"SAN205: rank {self._rank} published arc {arc} (memo "
+                    f"row {row}) before its dependencies {missing[:8]} — "
+                    "the declared right-endpoint publication order is "
+                    "violated, so a consumer's d1/d2 read at the matched "
+                    f"arc would use an unpublished cell (Publish at "
+                    f"{_call_site()})"
+                )
+            self._published_arcs.add(arc)
+        if self.stats is not None:
+            self.stats.sanitizer_checks += 1
+            self.stats.sanitizer_ns += int(
+                (time.perf_counter() - start) * 1e9
+            )
+
+    def _recv_publication(self, source: int) -> Any:
+        """Deadline-polled publication receive: a batch that never
+        arrives (illegal publication order, dead peer) raises SAN104
+        instead of hanging in :meth:`Await`."""
+        if not self._polling_ok:
+            return self._inner._recv(source, _PUBLISH_TAG)
+        deadline = time.monotonic() + self._timeout
+        while True:
+            try:
+                found, payload = self._inner._try_recv(source, _PUBLISH_TAG)
+            except CommunicatorError:
+                self._polling_ok = False
+                return self._inner._recv(source, _PUBLISH_TAG)
+            if found:
+                return payload
+            if time.monotonic() >= deadline:
+                declared = (
+                    f" (the executor declared "
+                    f"{self._pub_schedule['expected_installs']} producer "
+                    "streams)"
+                    if self._pub_schedule is not None
+                    else ""
+                )
+                raise SanitizerError(
+                    f"SAN104: rank {self._rank} awaiting a publication "
+                    f"from rank {source} timed out after "
+                    f"{self._timeout:.1f}s at {_call_site()} — the "
+                    "producer never published the awaited cells"
+                    f"{declared}"
                 )
             time.sleep(self._POLL_SECONDS)
 

@@ -34,6 +34,7 @@ from repro.runtime.registry import (
     BATCH_ALGORITHMS,
     ENGINE_NAMES,
     PARTITIONER_NAMES,
+    SYNC_MODES,
 )
 from repro.structure.arcs import Structure
 from repro.structure.dotbracket import from_dotbracket, to_dotbracket
@@ -105,6 +106,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         inst = context.instrumentation()
     result = solve(
         s1, s2, algorithm=args.algorithm, engine=args.engine,
+        sync_mode=args.sync_mode,
         with_backtrace=args.backtrace, instrumentation=inst,
         record_kind="compare",
     )
@@ -325,6 +327,13 @@ def main(argv: list[str] | None = None) -> int:
         "--engine", default=AUTO,
         choices=(*ENGINE_NAMES, AUTO),
         help="slice engine, or 'auto' (default) to let the planner choose",
+    )
+    compare.add_argument(
+        "--sync-mode", default=AUTO, dest="sync_mode",
+        choices=(*SYNC_MODES, AUTO),
+        help="PRNA stage-one schedule ('row' barrier, 'dataflow' "
+        "point-to-point, ...), or 'auto' (default) to let the planner "
+        "price both against the calibrated cost model",
     )
     compare.add_argument(
         "--backtrace", action="store_true",

@@ -15,8 +15,9 @@ the same SPMD program yields both answers *and* simulated cluster timings.
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 import numpy as np
 
@@ -24,6 +25,11 @@ from repro.errors import CommunicatorError
 from repro.mpi.costmodel import CostModel
 from repro.mpi.datatypes import ReduceOp, apply_op
 from repro.mpi.virtualtime import VirtualClock
+
+#: Reserved point-to-point tag of the publication channel
+#: (:meth:`Communicator.Publish` / :meth:`Communicator.Await`).  Kept out
+#: of the user tag space, below the process backend's protocol tags.
+_PUBLISH_TAG = 0x7FE2
 
 
 def _payload_bytes(obj: Any) -> int:
@@ -68,6 +74,11 @@ class CommStats:
         "shm_allreduces",
         "shm_allreduce_bytes",
         "exchanges",
+        "publishes",
+        "awaits",
+        "coalesced_cells",
+        "publish_bytes",
+        "dependency_wait_ns",
         "sanitizer_checks",
         "sanitizer_ns",
     )
@@ -88,6 +99,20 @@ class CommStats:
         self.shm_allreduces = 0
         self.shm_allreduce_bytes = 0
         self.exchanges = 0
+        #: Dependency-driven publication channel (the dataflow executor's
+        #: substrate): ``publishes`` counts coalesced batch messages put on
+        #: the wire, ``awaits`` counts :meth:`Communicator.Await` calls
+        #: that actually blocked on the transport (wait-sets already
+        #: satisfied by earlier batches cost nothing), ``coalesced_cells``
+        #: counts the memo cells those batches carried,  ``publish_bytes``
+        #: their approximate wire size, and ``dependency_wait_ns`` the
+        #: nanoseconds spent blocked inside ``Await`` — the point-to-point
+        #: analogue of a row barrier's collective wait.
+        self.publishes = 0
+        self.awaits = 0
+        self.coalesced_cells = 0
+        self.publish_bytes = 0
+        self.dependency_wait_ns = 0
         #: Validations performed (and nanoseconds spent) by the runtime
         #: sanitizer wrapper, when :class:`repro.check.SanitizedCommunicator`
         #: is active; zero otherwise.  Lets the overhead of sanitized runs
@@ -166,6 +191,13 @@ class Request:
 class Communicator(ABC):
     """SPMD communication endpoint for one rank."""
 
+    #: Adaptive-coalescing threshold of the publication channel: cells
+    #: buffered per destination before :meth:`Publish` flushes a batch on
+    #: its own.  Small publications ride together in one message; a
+    #: dependency demand (``urgent=True`` or any :meth:`Await`) flushes
+    #: immediately regardless.
+    publish_coalesce_cells: int = 256
+
     def __init__(
         self,
         rank: int,
@@ -180,6 +212,12 @@ class Communicator(ABC):
         self.clock = clock
         self.cost_model = cost_model
         self.stats: CommStats | None = None
+        # Publication channel state: per-destination outboxes of pending
+        # ``(key, payload)`` publications with their buffered cell counts,
+        # and per-source inboxes of delivered-but-unclaimed publications.
+        self._pub_outbox: dict[int, list[tuple[Any, Any]]] = {}
+        self._pub_pending_cells: dict[int, int] = {}
+        self._pub_inbox: dict[int, dict[Any, Any]] = {}
 
     def enable_stats(self) -> CommStats:
         """Attach (and return) communication counters for this rank."""
@@ -371,6 +409,96 @@ class Communicator(ABC):
             self.stats.allreduces += 1
             self.stats.allreduce_bytes += int(buffer.nbytes)
         self._charge_collective("allreduce", buffer.nbytes)
+
+    # -- dependency-driven publication channel ----------------------------
+    def Publish(
+        self, key: Any, payload: Any, dest: int, *, urgent: bool = False
+    ) -> None:
+        """Publish *payload* under *key* to rank *dest* (non-blocking).
+
+        The dataflow executor's substrate: the producing rank publishes
+        completed memo cells the moment they exist; the consuming rank
+        claims them with :meth:`Await` when its wait-set demands them.
+        Publications to the same destination are **coalesced** — buffered
+        locally and shipped as one batch message once
+        :attr:`publish_coalesce_cells` cells are pending, when
+        ``urgent=True``, or when this rank itself blocks in :meth:`Await`
+        (flushing everything pending first keeps the protocol
+        deadlock-free).  NumPy payloads are copied at publish time so the
+        caller may keep mutating the source buffer.
+        """
+        if dest == self._rank:
+            raise CommunicatorError("Publish to self is meaningless")
+        if not 0 <= dest < self._size:
+            raise CommunicatorError(f"dest {dest} outside [0, {self._size})")
+        if isinstance(payload, np.ndarray):
+            cells = int(payload.size)
+            payload = np.array(payload, copy=True)
+        else:
+            cells = 1
+        self._pub_outbox.setdefault(dest, []).append((key, payload))
+        pending = self._pub_pending_cells.get(dest, 0) + cells
+        self._pub_pending_cells[dest] = pending
+        if urgent or pending >= self.publish_coalesce_cells:
+            self._flush_publications_to(dest)
+
+    def flush_publications(self, dest: int | None = None) -> None:
+        """Ship every buffered publication (to *dest*, or to all peers)."""
+        if dest is not None:
+            self._flush_publications_to(dest)
+            return
+        for peer in sorted(self._pub_outbox):
+            self._flush_publications_to(peer)
+
+    def _flush_publications_to(self, dest: int) -> None:
+        batch = self._pub_outbox.pop(dest, None)
+        self._pub_pending_cells.pop(dest, None)
+        if not batch:
+            return
+        self._send(batch, dest, _PUBLISH_TAG)
+        if self.stats is not None:
+            self.stats.publishes += 1
+            for key, payload in batch:
+                if isinstance(payload, np.ndarray):
+                    self.stats.coalesced_cells += int(payload.size)
+                else:
+                    self.stats.coalesced_cells += 1
+                self.stats.publish_bytes += _payload_bytes(payload)
+
+    def Await(self, keys: Iterable[Any], source: int) -> dict[Any, Any]:
+        """Claim the publications *keys* from rank *source* (blocking).
+
+        Returns ``{key: payload}`` once every key has arrived.  Keys
+        delivered earlier (riding in a previous coalesced batch) are
+        served from the inbox without touching the transport; keys that
+        arrive early while draining stay in the inbox for later ``Await``
+        calls.  Before blocking, this rank flushes all of its own pending
+        publications — a rank waiting on a dependency must never sit on
+        cells someone else is waiting for.
+        """
+        keys = list(keys)
+        inbox = self._pub_inbox.setdefault(source, {})
+        missing = [k for k in keys if k not in inbox]
+        if missing:
+            self.flush_publications()
+            wanted = set(missing)
+            t0 = time.perf_counter_ns()
+            while wanted:
+                for key, payload in self._recv_publication(source):
+                    inbox[key] = payload
+                    wanted.discard(key)
+            if self.stats is not None:
+                self.stats.awaits += 1
+                self.stats.dependency_wait_ns += time.perf_counter_ns() - t0
+        return {k: inbox.pop(k) for k in keys}
+
+    def _recv_publication(self, source: int) -> list[tuple[Any, Any]]:
+        """Backend hook: block for one coalesced publication batch.
+
+        The sanitizer overrides this with a polling deadline so a missing
+        publication surfaces as a diagnostic instead of a hang.
+        """
+        return self._recv(source, _PUBLISH_TAG)
 
     # -- virtual time ------------------------------------------------------
     def charge_compute(self, seconds: float) -> None:

@@ -123,11 +123,19 @@ class ProcessCommunicator(Communicator):
         connections: dict[int, Any],
         clock: VirtualClock | None = None,
         cost_model: CostModel | None = None,
+        shm_min_bytes: int = 0,
     ):
         super().__init__(rank, size, clock, cost_model)
         self._connections = connections
         self._pending: dict[tuple[int, int], list[Any]] = {}
         self._shm_groups: list[_SharedGroup] = []
+        #: Buffers below this size take the pipe reduction even when they
+        #: live in a shared segment: the shm path costs three control
+        #: rounds per call, which small payloads cannot amortize (the
+        #: planner prices the crossover; 0 keeps shm for every located
+        #: buffer).  Deterministic across ranks — nbytes is collective
+        #: state — so the mode agreement below still converges.
+        self.shm_min_bytes = int(shm_min_bytes)
 
     # -- point to point ----------------------------------------------------
     def _send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -290,6 +298,8 @@ class ProcessCommunicator(Communicator):
         shared memory can never deadlock against one whose doesn't.
         """
         located = self._locate_shared(buffer)
+        if located is not None and buffer.nbytes < self.shm_min_bytes:
+            located = None  # below the priced shm crossover: pipe is cheaper
         if self._shm_groups or located is not None:
             modes = self._exchange("Allreduce:mode", located is not None)
             if not all(modes):
@@ -324,9 +334,13 @@ def _child_main(
     args: Sequence[Any],
     use_clock: bool,
     cost_model: CostModel | None,
+    shm_min_bytes: int = 0,
 ) -> None:
     clock = VirtualClock() if use_clock else None
-    comm = ProcessCommunicator(rank, size, connections, clock, cost_model)
+    comm = ProcessCommunicator(
+        rank, size, connections, clock, cost_model,
+        shm_min_bytes=shm_min_bytes,
+    )
     try:
         value = fn(comm, *args)
         simulated = clock.now if clock is not None else None
@@ -346,6 +360,7 @@ def run_multiprocess(
     cost_model: CostModel | None = None,
     with_clocks: bool = False,
     timeout: float = 300.0,
+    shm_min_bytes: int = 0,
 ) -> list[Any]:
     """Run ``fn(comm, *args)`` on *size* process-ranks; return all results.
 
@@ -374,7 +389,7 @@ def run_multiprocess(
             target=_child_main,
             args=(
                 fn, rank, size, ends[rank], result_pipes[rank][1], args,
-                with_clocks, cost_model,
+                with_clocks, cost_model, shm_min_bytes,
             ),
             name=f"rank-{rank}",
         )

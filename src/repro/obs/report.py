@@ -11,6 +11,14 @@ Accounting rules:
 * spans with category ``"compute"`` are busy tabulation time;
 * spans with category ``"comm"`` are time inside (or blocked at) a
   collective — the executed analogue of the simulator's wait + comm;
+* spans with category ``"dep-wait"`` are time blocked in
+  :meth:`~repro.mpi.communicator.Communicator.Await` for a dependency a
+  peer has not yet published — the dataflow executor's analogue of
+  comm-wait, reported in its own column so a dataflow run's residual
+  synchronization is visible next to the row barrier's;
+* spans with category ``"publish"`` are time inside
+  :meth:`~repro.mpi.communicator.Communicator.Publish` (buffering plus
+  the occasional coalesced flush); counted into busy time with comm;
 * spans with category ``"sanitizer"`` (emitted by
   :class:`repro.check.SanitizedCommunicator`) are tallied separately so a
   sanitized run's validation overhead shows up in the report instead of
@@ -34,6 +42,10 @@ __all__ = ["RankSummary", "TraceReport", "summarize_events", "summarize_trace"]
 #: Categories entering the busy-time accounting.
 COMPUTE_CATEGORY = "compute"
 COMM_CATEGORY = "comm"
+#: Dataflow dependency waits (blocked in ``Await``): busy, own column.
+DEP_WAIT_CATEGORY = "dep-wait"
+#: Cell publications (``Publish`` buffering/flush): busy, folded into comm.
+PUBLISH_CATEGORY = "publish"
 #: Sanitizer-validation spans: reported, but outside busy time.
 SANITIZER_CATEGORY = "sanitizer"
 
@@ -52,23 +64,32 @@ class RankSummary:
     #: zero for unsanitized runs.  Kept out of busy time — it is overhead,
     #: not algorithm work.
     sanitizer_seconds: float = 0.0
+    #: Time blocked awaiting unpublished dependencies (``"dep-wait"``);
+    #: zero for row-barrier runs, the residual synchronization of dataflow
+    #: ones.  Busy (it is the comm-wait analogue) but its own column.
+    dep_wait_seconds: float = 0.0
 
     @property
     def busy_seconds(self) -> float:
-        return self.compute_seconds + self.comm_seconds
+        return (
+            self.compute_seconds + self.comm_seconds + self.dep_wait_seconds
+        )
 
     @property
     def wall_seconds(self) -> float:
         return self.busy_seconds + self.idle_seconds
 
     def shares(self) -> dict[str, float]:
-        """compute/comm/idle as percentages of the wall window."""
+        """compute/comm/dep-wait/idle as percentages of the wall window."""
         wall = self.wall_seconds
         if wall <= 0.0:
-            return {"compute": 0.0, "comm": 0.0, "idle": 0.0}
+            return {
+                "compute": 0.0, "comm": 0.0, "dep-wait": 0.0, "idle": 0.0,
+            }
         return {
             "compute": 100.0 * self.compute_seconds / wall,
             "comm": 100.0 * self.comm_seconds / wall,
+            "dep-wait": 100.0 * self.dep_wait_seconds / wall,
             "idle": 100.0 * self.idle_seconds / wall,
         }
 
@@ -84,9 +105,9 @@ class TraceReport:
         """Fixed-width per-rank table (the `trace-report` CLI output)."""
         lines = [
             f"per-rank timeline over a {self.wall_seconds:.6f}s wall window "
-            "(compute / comm-wait / idle, Figure 8 categories):",
-            f"{'track':<12} {'compute':>12} {'comm-wait':>12} {'idle':>12} "
-            f"{'busy':>7} {'spans':>7}",
+            "(compute / comm-wait / dep-wait / idle, Figure 8 categories):",
+            f"{'track':<12} {'compute':>12} {'comm-wait':>12} "
+            f"{'dep-wait':>12} {'idle':>12} {'busy':>7} {'spans':>7}",
         ]
         for summary in self.ranks:
             shares = summary.shares()
@@ -94,17 +115,21 @@ class TraceReport:
                 f"{summary.track:<12} "
                 f"{summary.compute_seconds:8.4f}s {shares['compute']:4.0f}% "
                 f"{summary.comm_seconds:8.4f}s {shares['comm']:4.0f}% "
+                f"{summary.dep_wait_seconds:8.4f}s "
+                f"{shares['dep-wait']:4.0f}% "
                 f"{summary.idle_seconds:8.4f}s {shares['idle']:4.0f}% "
-                f"{(shares['compute'] + shares['comm']):6.1f}% "
+                f"{(shares['compute'] + shares['comm'] + shares['dep-wait']):6.1f}% "
                 f"{summary.n_spans:>7}"
             )
         total_compute = sum(s.compute_seconds for s in self.ranks)
         total_comm = sum(s.comm_seconds for s in self.ranks)
-        busy = total_compute + total_comm
+        total_dep_wait = sum(s.dep_wait_seconds for s in self.ranks)
+        busy = total_compute + total_comm + total_dep_wait
         if busy > 0:
             lines.append(
                 f"overall: {100.0 * total_compute / busy:.1f}% of busy time "
-                f"is compute, {100.0 * total_comm / busy:.1f}% is comm-wait"
+                f"is compute, {100.0 * total_comm / busy:.1f}% is comm-wait, "
+                f"{100.0 * total_dep_wait / busy:.1f}% is dependency-wait"
             )
         total_sanitizer = sum(s.sanitizer_seconds for s in self.ranks)
         if total_sanitizer > 0:
@@ -157,13 +182,22 @@ def summarize_events(
         compute = sum(
             e.duration for e in by_rank[rank] if e.category == COMPUTE_CATEGORY
         )
+        # Publications are communication time (buffering + coalesced
+        # flushes); dependency waits get their own column.
         comm = sum(
-            e.duration for e in by_rank[rank] if e.category == COMM_CATEGORY
+            e.duration
+            for e in by_rank[rank]
+            if e.category in (COMM_CATEGORY, PUBLISH_CATEGORY)
+        )
+        dep_wait = sum(
+            e.duration
+            for e in by_rank[rank]
+            if e.category == DEP_WAIT_CATEGORY
         )
         sanitizer = sum(
             e.duration for e in by_rank[rank] if e.category == SANITIZER_CATEGORY
         )
-        idle = max(wall - compute - comm, 0.0)
+        idle = max(wall - compute - comm - dep_wait, 0.0)
         summaries.append(
             RankSummary(
                 rank=rank,
@@ -173,6 +207,7 @@ def summarize_events(
                 idle_seconds=idle,
                 n_spans=len(by_rank[rank]),
                 sanitizer_seconds=sanitizer,
+                dep_wait_seconds=dep_wait,
             )
         )
     return TraceReport(ranks=tuple(summaries), wall_seconds=wall)

@@ -39,8 +39,10 @@ from repro.core.instrument import Instrumentation
 from repro.core.memo import DenseMemoTable
 from repro.core.slices import BATCH_ENGINES, ENGINES
 from repro.errors import CommunicatorError
-from repro.mpi.communicator import Communicator, ReduceOp
+from repro.mpi.communicator import Communicator
 from repro.obs.tracer import NULL_SPAN, Tracer
+from repro.parallel.dataflow import dataflow_stage_one
+from repro.parallel.schedule import StageOneState, row_barrier_stage_one
 from repro.perf.model import WorkModel
 from repro.runtime.context import ExecutionContext, sanitize_communicator, shared_memo
 from repro.runtime.registry import SYNC_MODES
@@ -48,7 +50,23 @@ from repro.scheduling.partition import PARTITIONERS, Partition
 from repro.scheduling.workload import column_weights
 from repro.structure.arcs import Structure
 
-__all__ = ["PRNAResult", "prna_rank", "prna", "SYNC_MODES"]
+__all__ = [
+    "PRNAResult",
+    "prna_rank",
+    "prna",
+    "SYNC_MODES",
+    "STAGE_ONE_EXECUTORS",
+]
+
+#: Sync mode -> stage-one executor (documentation/introspection map; the
+#: dispatch in :func:`prna_rank` is an explicit conditional so the
+#: protocol verifier can inline the executor it actually runs).
+STAGE_ONE_EXECUTORS = {
+    "row": row_barrier_stage_one,
+    "pair": row_barrier_stage_one,
+    "deferred": row_barrier_stage_one,
+    "dataflow": dataflow_stage_one,
+}
 
 
 @dataclass
@@ -108,10 +126,15 @@ def prna_rank(
     sync_mode:
         ``"row"`` is the paper's algorithm.  ``"pair"`` synchronizes after
         every slice (correct but chatty — the granularity ablation).
-        ``"deferred"`` skips intra-stage synchronization entirely; it is
-        **incorrect** for multi-rank worlds and exists so the failure tests
-        can demonstrate both the wrong answers and their detection via
-        ``validate=True``.
+        ``"dataflow"`` replaces the per-row collective with
+        dependency-driven point-to-point cell publication
+        (:mod:`repro.parallel.dataflow`): each rank awaits exactly the
+        remote cells its wait-set demands and publishes completed owned
+        cells with adaptive coalescing — no global barrier; bit-identical
+        scores and (on rank 0) memo tables.  ``"deferred"`` skips
+        intra-stage synchronization entirely; it is **incorrect** for
+        multi-rank worlds and exists so the failure tests can demonstrate
+        both the wrong answers and their detection via ``validate=True``.
     charge:
         ``None``, ``"measured"`` (per-thread CPU time) or ``"analytic"``
         (work model seconds) — feeds the communicator's virtual clock.
@@ -190,7 +213,10 @@ def prna_rank(
     partition = build(weights, comm.size)
     owned = partition.tasks_of(comm.rank)
     if shared_memory is None:
-        use_shm = comm.supports_shared_reduction
+        # Dataflow stage one performs no reductions, so shared segments
+        # buy nothing; default them off (forcing True still works — the
+        # per-rank segments are private outside collectives).
+        use_shm = comm.supports_shared_reduction and sync_mode != "dataflow"
     else:
         use_shm = bool(shared_memory)
         if use_shm and not comm.supports_shared_reduction:
@@ -210,98 +236,81 @@ def prna_rank(
         owned_arr0 = np.asarray(owned, dtype=np.int64)
         memo = comm.guard_memo(memo, owned_columns=s2.lefts[owned_arr0] + 1)
     values = memo.values
-    inner1 = s1.inner_ranges
-    inner2 = s2.inner_ranges
-    lefts1 = s1.lefts.tolist()
-    rights1 = s1.rights.tolist()
-    lefts2 = s2.lefts.tolist()
-    rights2 = s2.rights.tolist()
-    inside1 = s1.inside_count
-    inside2 = s2.inside_count
+    owned_arr = np.asarray(owned, dtype=np.int64)
+    owned_cols = s2.lefts[owned_arr] + 1
+    # With a batch-capable engine the owned-column loop becomes one
+    # batch per outer arc: the rank's partition defines the batch.
+    # (The "pair" ablation needs a collective per arc pair, so it
+    # keeps the per-slice loop.)
+    state = StageOneState(
+        values=values,
+        partition=partition,
+        owned=owned,
+        owned_arr=owned_arr,
+        owned_cols=owned_cols,
+        tabulate=tabulate,
+        batch=BATCH_ENGINES.get(engine),
+        inst=inst,
+        work_model=work_model,
+        span=span,
+        measure_start=measure_start,
+        measure_stop=measure_stop,
+    )
     measure_stop(mark, work_model.preprocessing_seconds(s1, s2) if work_model else 0.0)
 
     # ------------------------------------------------------------------
-    # Stage one: owned child slices, one Allreduce per completed row.
+    # Stage one, behind the schedule abstraction: the paper's row
+    # barrier (plus its pair/deferred ablations) or the dependency-driven
+    # dataflow executor.  Explicit dispatch (not a registry lookup) so
+    # the protocol verifier inlines the executor that actually runs.
     # ------------------------------------------------------------------
     stage_ctx = inst.stage("stage_one") if inst is not None else None
     if stage_ctx is not None:
         stage_ctx.__enter__()
+    dataflow_plan = None
     try:
-        owned_set = set(owned)
-        # With a batch-capable engine the owned-column loop becomes one
-        # batch per outer arc: the rank's partition defines the batch.
-        # (The "pair" ablation needs a collective per arc pair, so it
-        # keeps the per-slice loop.)
-        batch = BATCH_ENGINES.get(engine) if sync_mode != "pair" else None
-        if batch is not None:
-            owned_arr = np.asarray(owned, dtype=np.int64)
-            owned_cols = s2.lefts[owned_arr] + 1
-        for a in range(s1.n_arcs):
-            i1, j1 = lefts1[a], rights1[a]
-            r1 = (int(inner1[a, 0]), int(inner1[a, 1]))
-            row = values[i1 + 1]
-            if sync_mode == "pair":
-                # Chatty ablation: a collective per arc *pair*, so every
-                # rank walks every column and synchronizes each time.
-                for b in range(s2.n_arcs):
-                    if b in owned_set:
-                        mark = measure_start()
-                        i2, j2 = lefts2[b], rights2[b]
-                        with span("tabulate_pair", "compute", row=i1 + 1):
-                            row[i2 + 1] = tabulate(
-                                values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
-                                ranges=(
-                                    r1, (int(inner2[b, 0]), int(inner2[b, 1]))
-                                ),
-                                instrumentation=inst,
-                            )
-                        measure_stop(
-                            mark,
-                            work_model.pair_seconds(
-                                int(inside1[a]), int(inside2[b])
-                            )
-                            if work_model is not None
-                            else 0.0,
-                        )
-                    with span("allreduce_wait", "comm", row=i1 + 1):
-                        comm.Allreduce(row, ReduceOp.MAX)
-                continue
-            mark = measure_start()
-            with span("tabulate_row", "compute", row=i1 + 1, columns=len(owned)):
-                if batch is not None:
-                    row[owned_cols] = batch(
-                        values, s1, s2, i1 + 1, j1 - 1, owned_arr,
-                        r1=r1, instrumentation=inst,
-                    )
-                else:
-                    for b in owned:
-                        i2, j2 = lefts2[b], rights2[b]
-                        row[i2 + 1] = tabulate(
-                            values, s1, s2, i1 + 1, j1 - 1, i2 + 1, j2 - 1,
-                            ranges=(r1, (int(inner2[b, 0]), int(inner2[b, 1]))),
-                            instrumentation=inst,
-                        )
-            analytic = (
-                work_model.row_seconds(int(inside1[a]), inside2, owned)
-                if work_model is not None
-                else 0.0
-            )
-            measure_stop(mark, analytic)
-            if sync_mode == "row":
-                with span("allreduce_wait", "comm", row=i1 + 1):
-                    comm.Allreduce(row, ReduceOp.MAX)
+        if sync_mode == "dataflow":
+            dataflow_plan = dataflow_stage_one(comm, s1, s2, sync_mode, state)
+        else:
+            row_barrier_stage_one(comm, s1, s2, sync_mode, state)
     finally:
         if stage_ctx is not None:
             stage_ctx.__exit__(None, None, None)
 
     if validate:
-        digest = int(values.sum()) ^ hash(values.tobytes())
-        digests = comm.allgather(digest)
-        if any(d != digests[0] for d in digests):
-            raise CommunicatorError(
-                "memoization tables diverged across ranks after stage one — "
-                f"synchronization scheme {sync_mode!r} is unsound"
-            )
+        if sync_mode == "dataflow":
+            # Ranks deliberately hold complementary tables (only rank 0
+            # consolidates), so whole-table digests cannot agree.  Check
+            # instead that every rank's owned block is bit-identical to
+            # the corresponding block of rank 0's consolidated table.
+            all_rows = np.sort(s1.lefts.astype(np.int64) + 1)
+            mine = values[np.ix_(all_rows, np.sort(owned_cols))]
+            digest = int(mine.sum()) ^ hash(mine.tobytes())
+            digests = comm.allgather(digest)
+            ok = True
+            if comm.rank == 0:
+                for q in range(comm.size):
+                    cols_q = dataflow_plan.col_blocks[q]
+                    if len(cols_q) == 0:
+                        continue
+                    block = values[np.ix_(all_rows, cols_q)]
+                    if digests[q] != int(block.sum()) ^ hash(block.tobytes()):
+                        ok = False
+            ok = comm.bcast(ok, root=0)
+            if not ok:
+                raise CommunicatorError(
+                    "dataflow consolidation diverged: a rank's owned memo "
+                    "block does not match rank 0's consolidated table — "
+                    "the publication protocol lost or corrupted cells"
+                )
+        else:
+            digest = int(values.sum()) ^ hash(values.tobytes())
+            digests = comm.allgather(digest)
+            if any(d != digests[0] for d in digests):
+                raise CommunicatorError(
+                    "memoization tables diverged across ranks after stage "
+                    f"one — synchronization scheme {sync_mode!r} is unsound"
+                )
 
     # ------------------------------------------------------------------
     # Stage two: sequential on rank 0, score broadcast to all.

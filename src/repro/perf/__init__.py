@@ -1,13 +1,23 @@
 """Performance modelling, calibration and timing utilities."""
 
 from repro.perf.model import WorkModel, PAPER_SECONDS_PER_CELL
-from repro.perf.calibrate import calibrate_work_model
+from repro.perf.calibrate import (
+    calibrate_cluster_spec,
+    calibrate_work_model,
+    load_calibrated_work_model,
+    load_calibration,
+    save_calibration,
+)
 from repro.perf.timing import time_call, TimingResult
 
 __all__ = [
     "WorkModel",
     "PAPER_SECONDS_PER_CELL",
+    "calibrate_cluster_spec",
     "calibrate_work_model",
+    "load_calibrated_work_model",
+    "load_calibration",
+    "save_calibration",
     "time_call",
     "TimingResult",
 ]

@@ -12,7 +12,14 @@ cost model (:mod:`repro.mpi.costmodel`).
 The central decision is the paper's Figure 8 tension made automatic:
 below a modeled work threshold the per-row synchronization tax of PRNA
 cannot pay for itself and plain SRNA2 wins; above it the planner models
-candidate world sizes with the cost model and picks the fastest.  Dynamic
+candidate world sizes with the cost model and picks the fastest.  The
+synchronization *schedule* is priced the same way: ``sync_mode="auto"``
+compares the row barrier's per-arc collective bill against the dataflow
+executor's point-to-point publication traffic, and ``shared_memory=None``
+resolves through the shm-vs-pipe crossover — all with a latency/bandwidth
+spec preferring the measured on-node calibration
+(:func:`repro.perf.calibrate.calibrate_cluster_spec`, ``make calibrate``)
+over built-in defaults, never the paper's Fundy constants.  Dynamic
 manager-worker scheduling is selected only when the caller declares the
 per-task costs unpredictable (``ResourceHints(predictable_costs=False)``)
 — for this workload the costs are an outer product of known arc weights,
@@ -30,6 +37,9 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Any, Mapping
 
+import numpy as np
+
+from repro.mpi.communicator import Communicator
 from repro.mpi.costmodel import ClusterSpec, CostModel
 from repro.perf.model import WorkModel
 from repro.runtime.registry import (
@@ -72,6 +82,8 @@ def local_cluster(cores: int) -> ClusterSpec:
         beta=2.0e-10,
         sync_overhead=2.0e-5,
         contention=0.05,
+        shm_beta=1.0e-10,
+        shm_setup=5.0e-2,
     )
 
 
@@ -185,14 +197,120 @@ class Planner:
 
     # ------------------------------------------------------------------
     def _work_model(self) -> WorkModel:
-        return self.hints.work_model or WorkModel.default()
+        if self.hints.work_model is not None:
+            return self.hints.work_model
+        from repro.perf.calibrate import load_calibrated_work_model
+
+        return load_calibrated_work_model() or WorkModel.default()
+
+    def _work_model_source(self) -> str:
+        if self.hints.work_model is not None:
+            return "caller calibration"
+        from repro.perf.calibrate import load_calibrated_work_model
+
+        if load_calibrated_work_model() is not None:
+            return "measured on-node calibration"
+        return "paper calibration"
+
+    def _resolve_cluster(self, max_ranks: int) -> tuple[ClusterSpec, str]:
+        """The communication cost spec and a rationale-ready source note.
+
+        Preference order: a caller-provided spec, the measured on-node
+        calibration record (``make calibrate`` /
+        :func:`repro.perf.calibrate.calibrate_cluster_spec`), and only
+        then the built-in local-cluster defaults — never the paper's
+        Fundy constants, whose 10 ms collectives describe a different
+        machine entirely.
+        """
+        if self.hints.cluster is not None:
+            return self.hints.cluster, "caller-provided cluster spec"
+        from repro.perf.calibrate import calibration_path, load_calibration
+
+        spec = load_calibration()
+        if spec is not None:
+            return spec, (
+                f"measured on-node calibration ({calibration_path(None)})"
+            )
+        return local_cluster(max_ranks), (
+            "built-in local-cluster defaults (run `make calibrate` for a "
+            "measured fit)"
+        )
 
     def _cost_model(self, max_ranks: int) -> CostModel:
-        cluster = self.hints.cluster or local_cluster(max_ranks)
+        cluster, _ = self._resolve_cluster(max_ranks)
         return CostModel(cluster)
 
-    def _parallel_seconds(
+    @staticmethod
+    def _reader_arcs(s1: Structure) -> int:
+        """Arcs some later arc depends on — the dataflow publication set."""
+        n1 = s1.n_arcs
+        if n1 == 0:
+            return 0
+        mask = np.zeros(n1, dtype=bool)
+        for lo, hi in s1.inner_ranges:
+            mask[int(lo):int(hi)] = True
+        return int(np.count_nonzero(mask))
+
+    def _dataflow_comm_seconds(
         self, s1: Structure, s2: Structure, n_ranks: int, cost: CostModel
+    ) -> float:
+        """Modeled point-to-point traffic of the dataflow schedule.
+
+        Per arc with a reader, every consumer receives its column segment
+        (``~n2/P`` cells); the communicator coalesces small publications
+        up to its cell threshold, so the latency term scales with
+        *flushed batches*, not publications, while the bandwidth term
+        always pays for every cell.  One final block per peer consolidates
+        the table at rank 0 for stage two.  No collective appears, hence
+        no per-row ``sync_overhead`` — the term that makes the row
+        barrier expensive on latency-bound transports.
+        """
+        if n_ranks <= 1:
+            return 0.0
+        seg_cells = max(s2.n_arcs // n_ranks, 1)
+        seg_bytes = seg_cells * 8
+        publications = self._reader_arcs(s1) * (n_ranks - 1)
+        coalesce = max(Communicator.publish_coalesce_cells // seg_cells, 1)
+        messages = -(-publications // coalesce)
+        stage = (
+            messages * cost.cluster.alpha
+            + publications * seg_bytes * cost.cluster.beta
+        )
+        consolidation = (n_ranks - 1) * cost.p2p(s1.n_arcs * seg_bytes)
+        return stage + consolidation
+
+    def _stage_one_comm_seconds(
+        self,
+        s1: Structure,
+        s2: Structure,
+        n_ranks: int,
+        cost: CostModel,
+        sync_mode: str,
+    ) -> float:
+        """Modeled stage-one synchronization cost of one schedule."""
+        if n_ranks <= 1:
+            return 0.0
+        row_bytes = max(s2.length, 1) * 8
+        if sync_mode == AUTO:
+            return min(
+                s1.n_arcs * cost.allreduce(n_ranks, row_bytes),
+                self._dataflow_comm_seconds(s1, s2, n_ranks, cost),
+            )
+        if sync_mode == "row":
+            return s1.n_arcs * cost.allreduce(n_ranks, row_bytes)
+        if sync_mode == "pair":
+            return s1.n_arcs * s2.n_arcs * cost.allreduce(n_ranks, row_bytes)
+        if sync_mode == "dataflow":
+            return self._dataflow_comm_seconds(s1, s2, n_ranks, cost)
+        return 0.0  # "deferred": no intra-stage synchronization at all
+
+    def _parallel_seconds(
+        self,
+        s1: Structure,
+        s2: Structure,
+        n_ranks: int,
+        cost: CostModel,
+        sync_mode: str = AUTO,
     ) -> float:
         """Modeled PRNA wall time at *n_ranks* (perfect static balance)."""
         wm = self._work_model()
@@ -202,8 +320,7 @@ class Planner:
             for rank in range(n_ranks)
         )
         compute = stage_one / n_ranks * contention
-        row_bytes = max(s2.length, 1) * 8
-        comm = s1.n_arcs * cost.allreduce(n_ranks, row_bytes)
+        comm = self._stage_one_comm_seconds(s1, s2, n_ranks, cost, sync_mode)
         return (
             wm.preprocessing_seconds(s1, s2)
             + compute
@@ -232,7 +349,7 @@ class Planner:
         backend: str | None = None,
         n_ranks: int | None = None,
         partitioner: str = "greedy",
-        sync_mode: str = "row",
+        sync_mode: str = AUTO,
         shared_memory: bool | None = None,
         sanitize: bool = False,
         checkpoint_path: str | None = None,
@@ -242,7 +359,7 @@ class Planner:
         algorithm = validate_choice("algorithm", algorithm, allow_auto=True)
         engine = validate_choice("engine", engine, allow_auto=True)
         partitioner = validate_choice("partitioner", partitioner)
-        sync_mode = validate_choice("sync_mode", sync_mode)
+        sync_mode = validate_choice("sync_mode", sync_mode, allow_auto=True)
         hinted_backend = backend if backend is not None else self.hints.backend
         hinted_backend = validate_choice(
             "backend", hinted_backend, allow_auto=True
@@ -251,13 +368,13 @@ class Planner:
         hints = self.hints
         max_ranks = hints.resolved_max_ranks()
         wm = self._work_model()
-        cost = self._cost_model(max_ranks)
+        cluster, cluster_source = self._resolve_cluster(max_ranks)
+        cost = CostModel(cluster)
         sequential = wm.total_sequential_seconds(s1, s2)
         rationale: list[str] = [
             f"modeled sequential SRNA2 time {sequential:.3g} s "
-            f"({wm.seconds_per_cell:.3g} s/cell"
-            + (", caller calibration" if hints.work_model is not None
-               else ", paper calibration")
+            f"({wm.seconds_per_cell:.3g} s/cell, "
+            + self._work_model_source()
             + ")",
         ]
 
@@ -273,14 +390,14 @@ class Planner:
         if algorithm == AUTO:
             algorithm, chosen_ranks, estimated = self._choose_algorithm(
                 s1, s2, sequential, max_ranks, cost, n_ranks,
-                with_backtrace, rationale,
+                with_backtrace, rationale, sync_mode=sync_mode,
             )
         else:
             rationale.append(f"algorithm {algorithm!r} requested by caller")
         if algorithm in PARALLEL_ALGORITHMS:
             if chosen_ranks is None:
                 chosen_ranks, estimated = self._choose_ranks(
-                    s1, s2, max_ranks, cost, rationale
+                    s1, s2, max_ranks, cost, rationale, sync_mode=sync_mode
                 )
         else:
             chosen_ranks = 1
@@ -289,6 +406,18 @@ class Planner:
         resolved_backend = self._choose_backend(
             algorithm, hinted_backend, chosen_ranks, rationale
         )
+        if sync_mode == AUTO:
+            if algorithm == "prna":
+                sync_mode = self._choose_sync_mode(
+                    s1, s2, chosen_ranks, cost, cluster_source, rationale
+                )
+            else:
+                sync_mode = "row"
+        if shared_memory is None and algorithm == "prna":
+            shared_memory = self._choose_shared_memory(
+                s1, s2, chosen_ranks, resolved_backend, sync_mode, cost,
+                rationale,
+            )
         self._note_memory(s1, s2, chosen_ranks, resolved_backend, rationale)
         if sanitize:
             rationale.append(
@@ -325,6 +454,7 @@ class Planner:
         n_ranks: int | None,
         with_backtrace: bool,
         rationale: list[str],
+        sync_mode: str = AUTO,
     ) -> tuple[str, int | None, float]:
         if with_backtrace:
             rationale.append(
@@ -352,8 +482,10 @@ class Planner:
                 "model; HiCOMB 2009 regime)"
             )
             return "managerworker", n_ranks, sequential
-        ranks, estimated = self._choose_ranks(s1, s2, max_ranks, cost,
-                                              rationale, requested=n_ranks)
+        ranks, estimated = self._choose_ranks(
+            s1, s2, max_ranks, cost, rationale, requested=n_ranks,
+            sync_mode=sync_mode,
+        )
         rationale.append(
             f"exceeds the {self.threshold_seconds:g} s threshold -> prna "
             "(static greedy column partition, one Allreduce per memo row)"
@@ -368,9 +500,12 @@ class Planner:
         cost: CostModel,
         rationale: list[str],
         requested: int | None = None,
+        sync_mode: str = AUTO,
     ) -> tuple[int, float]:
         if requested is not None:
-            estimate = self._parallel_seconds(s1, s2, requested, cost)
+            estimate = self._parallel_seconds(
+                s1, s2, requested, cost, sync_mode
+            )
             rationale.append(
                 f"world size {requested} requested by caller "
                 f"(modeled {estimate:.3g} s)"
@@ -379,7 +514,7 @@ class Planner:
         best_ranks, best_seconds = 1, self._work_model(
         ).total_sequential_seconds(s1, s2)
         for ranks in self._candidate_ranks(max_ranks):
-            seconds = self._parallel_seconds(s1, s2, ranks, cost)
+            seconds = self._parallel_seconds(s1, s2, ranks, cost, sync_mode)
             if seconds < best_seconds:
                 best_ranks, best_seconds = ranks, seconds
         sequential = self._work_model().total_sequential_seconds(s1, s2)
@@ -450,6 +585,85 @@ class Planner:
             return "process"
         rationale.append("backend auto -> 'thread' (no POSIX fork here)")
         return "thread"
+
+    def _choose_sync_mode(
+        self,
+        s1: Structure,
+        s2: Structure,
+        n_ranks: int,
+        cost: CostModel,
+        cluster_source: str,
+        rationale: list[str],
+    ) -> str:
+        """Price the row-barrier and dataflow schedules for this input.
+
+        Both prices come from the same latency/bandwidth spec (see
+        :meth:`_resolve_cluster`); the decisive structural difference is
+        that the row barrier pays ``sync_overhead`` once per outer arc
+        while the dataflow schedule pays only point-to-point transfers of
+        the cells the consumers actually read.
+        """
+        if n_ranks <= 1:
+            rationale.append(
+                "sync auto -> 'row' (single rank: stage one has no remote "
+                "cells to synchronize)"
+            )
+            return "row"
+        row_bytes = max(s2.length, 1) * 8
+        row_s = s1.n_arcs * cost.allreduce(n_ranks, row_bytes)
+        df_s = self._dataflow_comm_seconds(s1, s2, n_ranks, cost)
+        mode = "dataflow" if df_s < row_s else "row"
+        rationale.append(
+            f"sync auto -> {mode!r}: modeled stage-one sync — row barrier "
+            f"{row_s:.3g} s ({s1.n_arcs} Allreduce) vs dataflow {df_s:.3g} s "
+            f"(dependency-driven coalesced publication); priced with "
+            f"{cluster_source}"
+        )
+        return mode
+
+    def _choose_shared_memory(
+        self,
+        s1: Structure,
+        s2: Structure,
+        n_ranks: int,
+        backend: str,
+        sync_mode: str,
+        cost: CostModel,
+        rationale: list[str],
+    ) -> bool | None:
+        """Resolve ``shared_memory=None`` via the shm-vs-pipe crossover.
+
+        Only the process backend has the zero-copy shared-segment path,
+        and only the collective schedules reduce rows at all; everywhere
+        else the driver default stands.  For row reductions, shared
+        memory trades per-byte pickling for three control rounds per call
+        plus a one-time segment setup — cheaper only above a
+        cost-model-priced problem size (the measured small-``n``
+        regression: shm 0.30 s vs pipe 0.22 s at n=160).
+        """
+        if backend != "process" or n_ranks <= 1:
+            return None
+        if sync_mode == "dataflow":
+            rationale.append(
+                "shared memory off: the dataflow schedule publishes row "
+                "segments point-to-point — no collective row reduction "
+                "to accelerate"
+            )
+            return False
+        rows = s1.n_arcs
+        row_bytes = max(s2.length, 1) * 8
+        pipe_s = rows * cost.allreduce(n_ranks, row_bytes)
+        shm_s = (
+            cost.cluster.shm_setup
+            + rows * cost.shm_allreduce(n_ranks, row_bytes)
+        )
+        use = shm_s < pipe_s
+        rationale.append(
+            f"shared-memory rows {'on' if use else 'off'}: {rows} row "
+            f"reductions modeled shm {shm_s:.3g} s (incl. "
+            f"{cost.cluster.shm_setup:.3g} s setup) vs pipe {pipe_s:.3g} s"
+        )
+        return use
 
     def _note_memory(
         self,

@@ -80,8 +80,10 @@ BACKENDS = ("self", "thread", "process")
 #: Column partitioners (static load balancing strategies).
 PARTITIONER_NAMES = tuple(sorted(PARTITIONERS))
 
-#: PRNA synchronization granularities (``"row"`` is the paper's).
-SYNC_MODES = ("row", "pair", "deferred")
+#: PRNA synchronization granularities (``"row"`` is the paper's;
+#: ``"dataflow"`` is the dependency-driven point-to-point schedule of
+#: :mod:`repro.parallel.dataflow`, no intra-stage collectives at all).
+SYNC_MODES = ("row", "pair", "deferred", "dataflow")
 
 #: Algorithms that take a slice engine at all (``srna1`` recurses through
 #: its own memo probes; ``topdown``/``dense`` are cell-level baselines).
@@ -171,6 +173,18 @@ declare_schedule(
     ScheduleDeclaration(
         key="prna:deferred", entry="repro.parallel.prna.prna_rank",
         publishes="none", order="right-endpoint", claims_sound=False,
+    )
+)
+# The dataflow executor publishes *cells* (per-consumer row segments)
+# point-to-point instead of reducing whole rows collectively; legality
+# rests on the same right-endpoint order the SCHED checker proves
+# strictly lower-triangular, and the runtime sanitizer cross-checks every
+# Publish against this declaration.
+declare_schedule(
+    ScheduleDeclaration(
+        key="prna:dataflow",
+        entry="repro.parallel.dataflow.dataflow_stage_one",
+        publishes="cells", order="right-endpoint",
     )
 )
 declare_schedule(
@@ -299,6 +313,21 @@ declare_cost(
         entry="repro.core.slices._segmented_tabulate",
         degree=2,
         polynomial="n_rows * width (width = n_seg + total columns)",
+    )
+)
+# The dataflow schedule's plan derivation: the per-rank read-set sweep is
+# a rank loop over per-rank arc lists writing range masks — degree 3 in
+# (ranks, arcs, range width), all O(P * n2) in practice because the owned
+# lists partition the arcs.  The planner prices the schedule's *traffic*
+# from the plan (dependency edges x latency/bandwidth), so the derivation
+# cost itself must stay honest and audited.
+declare_cost(
+    CostContract(
+        key="kernel:dataflow-plan",
+        entry="repro.parallel.dataflow.build_dataflow_plan",
+        degree=3,
+        polynomial="n_ranks * n_arcs2 (per-rank read-set union over"
+        " inner ranges)",
     )
 )
 

@@ -175,7 +175,7 @@ class Solver:
         backend: str | None = None,
         n_ranks: int | None = None,
         partitioner: str = "greedy",
-        sync_mode: str = "row",
+        sync_mode: str = AUTO,
         shared_memory: bool | None = None,
         sanitize: bool = False,
         sanitize_timeout: float = 30.0,

@@ -18,6 +18,8 @@ P3. divergent reduction operator           -> SPMD102 / SAN102
 P4. rank-dependent collective trip count   -> SPMD103 / SAN103
 P5. swapped cross-module tag constants     -> SPMD201+SPMD202 / SAN104
 P6. illegal executor publication order     -> SCHED001 / SAN203
+P7. reversed dataflow publication order    -> SCHED001 / SAN205
+P8. dataflow publication of a stray key    -> SAN204 (runtime only)
 
 And the seeded *numeric* bugs for ``--dataflow`` — value-range, shape,
 and cost faults the SPMD rules cannot see (``TestDataflowFaults``).
@@ -412,6 +414,94 @@ class TestProtocolFaults:
             c.Allreduce(row)
 
         with pytest.raises(SanitizerError, match="SAN203"):
+            run_threaded(fn, 2)
+
+    # -- P7: the dataflow executor publishes in *reversed* arc order --
+    def test_p7_reversed_dataflow_order_static(self):
+        # The registry-checked declaration with its order flipped: the
+        # legality proof finds a dependency published after its reader
+        # on a concrete sample structure before any code runs.
+        bad = ScheduleDeclaration(
+            key="prna:dataflow",
+            entry="repro.parallel.dataflow.dataflow_stage_one",
+            publishes="cells", order="reverse-right-endpoint",
+        )
+        findings = analyze_protocol({}, declarations=[bad])
+        assert [f.rule for f in findings] == ["SCHED001"]
+
+    def test_p7_runtime_verdict(self):
+        # The same fault executed: a rank that iterates its publication
+        # loop backwards trips the sanitizer's local order check at the
+        # first arc whose dependencies have not been published yet —
+        # before any consumer can read the stale cell.
+        from repro.structure.dotbracket import from_dotbracket
+
+        s1 = from_dotbracket("((()))")
+
+        def fn(comm):
+            c = sanitized(comm)
+            c.declare_publication_schedule(
+                row_of_arc=s1.lefts + 1,
+                dep_lo=s1.inner_ranges[:, 0],
+                dep_hi=s1.inner_ranges[:, 1],
+                expected_installs=1,
+            )
+            row = np.zeros(4, dtype=np.int64)
+            for a in range(s1.n_arcs - 1, -1, -1):  # bug: reversed
+                c.Publish(("row", a), row, 1 - c.rank)
+
+        with pytest.raises(SanitizerError, match="SAN205"):
+            run_threaded(fn, 2)
+
+    def test_p7_forward_order_is_silent(self):
+        # The legal counterpart: right-endpoint (ascending arc) order
+        # satisfies every dependency check and completes cleanly.
+        from repro.structure.dotbracket import from_dotbracket
+
+        s1 = from_dotbracket("((()))")
+
+        def fn(comm):
+            c = sanitized(comm)
+            c.declare_publication_schedule(
+                row_of_arc=s1.lefts + 1,
+                dep_lo=s1.inner_ranges[:, 0],
+                dep_hi=s1.inner_ranges[:, 1],
+                expected_installs=1,
+            )
+            row = np.zeros(4, dtype=np.int64)
+            for a in range(s1.n_arcs):
+                c.Publish(("row", a), row, 1 - c.rank)
+            got = c.Await([("row", a) for a in range(s1.n_arcs)], 1 - c.rank)
+            return len(got)
+
+        assert run_threaded(fn, 2) == [s1.n_arcs, s1.n_arcs]
+
+    # -- P8: publication of a key outside the declared schedule --
+    def test_p8_stray_publication_key(self):
+        def fn(comm):
+            c = sanitized(comm)
+            c.declare_publication_schedule(
+                row_of_arc=np.array([1]),
+                dep_lo=np.array([0]),
+                dep_hi=np.array([0]),
+            )
+            c.Publish(("bogus", 7), np.zeros(2), 1 - c.rank)
+
+        with pytest.raises(SanitizerError, match="SAN204"):
+            run_threaded(fn, 2)
+
+    def test_p8_foreign_consolidation_block(self):
+        def fn(comm):
+            c = sanitized(comm)
+            c.declare_publication_schedule(
+                row_of_arc=np.array([1]),
+                dep_lo=np.array([0]),
+                dep_hi=np.array([0]),
+            )
+            # Claims to consolidate the *peer's* owned block.
+            c.Publish(("final", 1 - c.rank), np.zeros(2), 1 - c.rank)
+
+        with pytest.raises(SanitizerError, match="SAN204"):
             run_threaded(fn, 2)
 
     # -- sanity: the legal counterpart of every fault stays silent --

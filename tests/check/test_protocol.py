@@ -20,7 +20,9 @@ import pytest
 from repro.check.lattice import (
     RANK_OTHER,
     RANK_ZERO,
+    AwaitEvent,
     CollectiveEvent,
+    PublishEvent,
     collective_view,
     decide_condition,
     first_difference,
@@ -135,6 +137,60 @@ class TestScheduleComparison:
                  if isinstance(e, CollectiveEvent)]
         assert names == ["barrier"]
 
+    def test_publish_await_modeled_in_tree(self):
+        # Publish/Await are one-sided: they must appear in the schedule
+        # tree (for the SCHED rules and tooling) but not in the
+        # collective skeleton — producer/consumer asymmetry is legal.
+        per_rank = self.schedules_for(
+            """
+            def run(comm, cells, deps):
+                if comm.rank == 0:
+                    got = comm.Await(deps, 1)
+                else:
+                    comm.Publish(("row", 3), cells, 0, urgent=True)
+                    comm.flush_publications()
+                comm.bcast(cells, root=0)
+            """
+        )
+        zero = [type(e).__name__ for e in iter_events(per_rank["R0"])]
+        other = [type(e).__name__ for e in iter_events(per_rank["Rk"])]
+        assert "AwaitEvent" in zero and "PublishEvent" not in zero
+        assert "PublishEvent" in other and "AwaitEvent" not in other
+        # The asymmetry vanishes from the collective view on both ranks.
+        a = collective_view(per_rank["R0"])
+        b = collective_view(per_rank["Rk"])
+        assert first_difference(a, b) is None
+
+    def test_publish_metadata_resolved(self):
+        per_rank = self.schedules_for(
+            """
+            def run(comm, cells, deps):
+                comm.Publish(("row", 3), cells, 1)
+                comm.Await(deps, 0)
+            """
+        )
+        events = list(iter_events(per_rank["R0"]))
+        publish = next(e for e in events if isinstance(e, PublishEvent))
+        awaited = next(e for e in events if isinstance(e, AwaitEvent))
+        assert publish.key == ("expr", "('row', 3)")
+        assert publish.dest == ("const", 1)
+        assert awaited.source == ("const", 0)
+
+    def test_asymmetric_publish_is_not_divergence(self):
+        # The full rule pipeline: an executor whose only cross-rank
+        # asymmetry is publications/awaits produces zero findings.
+        findings = proto(
+            """
+            def stage(comm, cells, deps):
+                if comm.rank == 0:
+                    comm.Await(deps, 1)
+                else:
+                    comm.Publish(("row", 0), cells, 0)
+                comm.barrier()
+            """
+        )
+        assert findings == []
+
 
 # ----------------------------------------------------------------------
 # Interpreter on the real tree
@@ -189,6 +245,19 @@ class TestRealTree:
         kinds = {type(e).__name__ for e in events}
         assert "SendEvent" in kinds and "RecvEvent" in kinds
         assert collective_names(per_rank["R0"]) == []
+
+    def test_dataflow_schedule_publishes_and_awaits(self, real_index):
+        per_entry = extract_schedules(real_index)
+        per_rank = per_entry["repro.parallel.dataflow.dataflow_stage_one"]
+        for rank in ("R0", "Rk"):
+            kinds = {
+                type(e).__name__ for e in iter_events(per_rank[rank])
+            }
+            assert "PublishEvent" in kinds
+            assert "AwaitEvent" in kinds
+            # Stage one is barrier-free by construction: the dataflow
+            # executor's schedule must contain no collectives at all.
+            assert collective_names(per_rank[rank]) == []
 
     def test_shipped_tree_is_protocol_clean(self, real_index):
         findings = analyze_protocol(

@@ -50,6 +50,20 @@ class TestAdapterSingleRank:
         result = prna_rank(world, s, s)
         assert result.score == srna2(s, s).score
 
+    def test_dataflow_schedule_over_adapter(self, world):
+        # The Publish/Await substrate lives on the Communicator base and
+        # rides the adapter's _send/_recv/_try_recv primitives, so the
+        # dataflow executor needs no mpi4py-specific code at all.
+        if world.size != 1:
+            pytest.skip("single-process validation only under pytest")
+        from repro.core.srna2 import srna2
+        from repro.parallel.prna import prna_rank
+        from repro.structure.generators import contrived_worst_case
+
+        s = contrived_worst_case(30)
+        result = prna_rank(world, s, s, sync_mode="dataflow")
+        assert result.score == srna2(s, s).score
+
     def test_send_to_self_rejected(self, world):
         with pytest.raises(CommunicatorError):
             world.send("x", world.rank)

@@ -68,7 +68,27 @@ class TestSummarizeEvents:
 
     def test_zero_wall_shares(self):
         (rank0,) = summarize_events([span("w", "compute", 1.0, 0.0, 0)]).ranks
-        assert rank0.shares() == {"compute": 0.0, "comm": 0.0, "idle": 0.0}
+        assert rank0.shares() == {
+            "compute": 0.0, "comm": 0.0, "dep-wait": 0.0, "idle": 0.0,
+        }
+
+    def test_dataflow_categories(self):
+        """dep-wait gets its own busy column; publish folds into comm."""
+        events = [
+            span("tabulate_row", "compute", 0.0, 0.5, 0),
+            span("dependency_wait", "dep-wait", 0.5, 0.3, 0),
+            span("publish", "publish", 0.8, 0.1, 0),
+        ]
+        report = summarize_events(events)
+        (rank0,) = report.ranks
+        assert rank0.dep_wait_seconds == pytest.approx(0.3)
+        assert rank0.comm_seconds == pytest.approx(0.1)
+        assert rank0.busy_seconds == pytest.approx(0.9)
+        assert rank0.idle_seconds == pytest.approx(0.0)
+        assert rank0.shares()["dep-wait"] == pytest.approx(100 * 0.3 / 0.9)
+        text = report.render()
+        assert "dep-wait" in text
+        assert "dependency-wait" in text
 
 
 class TestSummarizeTraceFile:

@@ -37,3 +37,82 @@ class TestCalibrate:
             calibrate_work_model(small=200, large=100)
         with pytest.raises(ValueError):
             calibrate_work_model(small=0, large=100)
+
+
+class TestCalibrationRecord:
+    """CALIBRATION.json round trip and the planner's lazy loaders."""
+
+    def _spec(self):
+        from repro.mpi.costmodel import ClusterSpec
+
+        return ClusterSpec(
+            cores_per_node=2, n_nodes=1, alpha=3e-6, beta=2e-10,
+            sync_overhead=9e-6, contention=0.05, shm_beta=4e-11,
+            shm_setup=1.5e-3,
+        )
+
+    def test_round_trip(self, tmp_path):
+        from repro.perf.calibrate import load_calibration, save_calibration
+
+        path = str(tmp_path / "cal.json")
+        written = save_calibration(self._spec(), path=path)
+        assert written == path
+        assert load_calibration(path) == self._spec()
+
+    def test_work_model_round_trip(self, tmp_path):
+        from repro.perf.calibrate import (
+            load_calibrated_work_model,
+            save_calibration,
+        )
+
+        path = str(tmp_path / "cal.json")
+        model = WorkModel(seconds_per_cell=2e-8, seconds_per_slice=1e-6)
+        save_calibration(self._spec(), model, path=path)
+        loaded = load_calibrated_work_model(path)
+        assert loaded.seconds_per_cell == pytest.approx(2e-8)
+        assert loaded.seconds_per_slice == pytest.approx(1e-6)
+
+    def test_missing_record_loads_as_none(self, tmp_path):
+        from repro.perf.calibrate import (
+            load_calibrated_work_model,
+            load_calibration,
+        )
+
+        path = str(tmp_path / "nothing.json")
+        assert load_calibration(path) is None
+        assert load_calibrated_work_model(path) is None
+
+    def test_malformed_record_loads_as_none(self, tmp_path):
+        from repro.perf.calibrate import load_calibration
+
+        path = tmp_path / "bad.json"
+        path.write_text("not json at all")
+        assert load_calibration(str(path)) is None
+        path.write_text('{"cluster": "not a mapping"}')
+        assert load_calibration(str(path)) is None
+        path.write_text('{"cluster": {"alpha": "fast"}}')
+        spec = load_calibration(str(path))
+        # Non-numeric fields are dropped; the rest default.
+        assert spec is None or spec.alpha > 0
+
+    def test_env_var_overrides_default_path(self, tmp_path, monkeypatch):
+        from repro.perf.calibrate import load_calibration, save_calibration
+
+        path = tmp_path / "via-env.json"
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        save_calibration(self._spec())  # no explicit path
+        assert path.exists()
+        assert load_calibration() == self._spec()
+
+    def test_unknown_keys_ignored(self, tmp_path):
+        import json
+
+        from repro.perf.calibrate import load_calibration
+
+        path = tmp_path / "extra.json"
+        path.write_text(json.dumps(
+            {"cluster": {"alpha": 1e-6, "beta": 1e-10, "bogus": 42}}
+        ))
+        spec = load_calibration(str(path))
+        assert spec is not None
+        assert spec.alpha == pytest.approx(1e-6)

@@ -183,3 +183,120 @@ class TestPlanBatch:
     def test_parallel_algorithm_rejected(self, planner, small):
         with pytest.raises(ValueError, match="unknown batch algorithm"):
             planner.plan_batch(small, {"a": small}, algorithm="prna")
+
+
+class TestScheduleChoice:
+    """sync auto, shared-memory crossover, and the calibration source."""
+
+    def _sync_line(self, plan):
+        lines = [r for r in plan.rationale if r.startswith("sync auto ->")]
+        assert len(lines) == 1
+        return lines[0]
+
+    def test_sync_auto_prices_both_schedules(self, planner, large):
+        plan = planner.plan(large, large)
+        assert plan.algorithm == "prna"
+        assert plan.sync_mode in ("row", "dataflow")
+        line = self._sync_line(plan)
+        assert "row barrier" in line and "dataflow" in line
+        assert "priced with" in line
+
+    def test_single_rank_pins_row(self, planner, large):
+        plan = planner.plan(large, large, algorithm="prna", n_ranks=1)
+        assert plan.sync_mode == "row"
+        assert "single rank" in self._sync_line(plan)
+
+    def test_latency_bound_cluster_prefers_dataflow(self, large):
+        # A per-collective tax dwarfing the transfer terms is exactly the
+        # regime the paper's dataflow variant targets.
+        slow_sync = local_cluster(8)
+        slow_sync = dataclasses.replace(slow_sync, sync_overhead=0.5)
+        plan = Planner(ResourceHints(max_ranks=8, cluster=slow_sync)).plan(
+            large, large, algorithm="prna", n_ranks=4
+        )
+        assert plan.sync_mode == "dataflow"
+        assert "caller-provided cluster spec" in self._sync_line(plan)
+
+    def test_message_bound_cluster_prefers_row(self):
+        # Segments wider than the coalescing threshold defeat batching,
+        # so the dataflow schedule pays one message per consumer per arc
+        # — more latency rounds than log2(P) allreduces when collectives
+        # themselves are free.
+        huge = contrived_worst_case(4200)
+        msg_bound = dataclasses.replace(
+            local_cluster(8), sync_overhead=0.0, alpha=1.0, beta=1e-15,
+        )
+        plan = Planner(ResourceHints(max_ranks=8, cluster=msg_bound)).plan(
+            huge, huge, algorithm="prna", n_ranks=4
+        )
+        assert plan.sync_mode == "row"
+
+    def test_dataflow_turns_shared_memory_off(self, planner, large):
+        plan = planner.plan(
+            large, large, algorithm="prna", n_ranks=4,
+            backend="process", sync_mode="dataflow",
+        )
+        assert plan.shared_memory is False
+        assert any(
+            "shared memory off" in r and "point-to-point" in r
+            for r in plan.rationale
+        )
+
+    def test_row_mode_prices_the_shm_crossover(self, planner, large):
+        plan = planner.plan(
+            large, large, algorithm="prna", n_ranks=4,
+            backend="process", sync_mode="row",
+        )
+        assert isinstance(plan.shared_memory, bool)
+        assert any(
+            r.startswith("shared-memory rows") and "vs pipe" in r
+            for r in plan.rationale
+        )
+
+    def test_caller_shared_memory_respected(self, planner, large):
+        plan = planner.plan(
+            large, large, algorithm="prna", n_ranks=4,
+            backend="process", sync_mode="row", shared_memory=False,
+        )
+        assert plan.shared_memory is False
+        assert not any(r.startswith("shared-memory rows") for r in plan.rationale)
+
+
+class TestCalibrationSource:
+    """Cluster-spec preference: caller > CALIBRATION.json > defaults."""
+
+    def test_defaults_without_a_record(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "missing.json"))
+        spec, source = Planner(ResourceHints(max_ranks=4))._resolve_cluster(4)
+        assert "built-in local-cluster defaults" in source
+        assert spec == local_cluster(4)
+
+    def test_record_preferred_over_defaults(self, monkeypatch, tmp_path):
+        from repro.perf.calibrate import save_calibration
+
+        measured = dataclasses.replace(local_cluster(4), alpha=123e-6)
+        path = tmp_path / "cal.json"
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        save_calibration(measured)
+        spec, source = Planner(ResourceHints(max_ranks=4))._resolve_cluster(4)
+        assert "measured on-node calibration" in source
+        assert spec.alpha == pytest.approx(123e-6)
+
+    def test_caller_spec_beats_the_record(self, monkeypatch, tmp_path):
+        from repro.perf.calibrate import save_calibration
+
+        path = tmp_path / "cal.json"
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        save_calibration(local_cluster(4))
+        mine = dataclasses.replace(local_cluster(4), alpha=7e-6)
+        planner = Planner(ResourceHints(max_ranks=4, cluster=mine))
+        spec, source = planner._resolve_cluster(4)
+        assert source == "caller-provided cluster spec"
+        assert spec is mine
+
+    def test_explain_cites_the_source(self, monkeypatch, tmp_path, large):
+        monkeypatch.setenv("REPRO_CALIBRATION", str(tmp_path / "none.json"))
+        plan = Planner(ResourceHints(max_ranks=8)).plan(
+            large, large, algorithm="prna", n_ranks=2
+        )
+        assert "built-in local-cluster defaults" in plan.explain()
